@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper at a reduced scale
+(synthetic datasets, a couple of epochs) and prints the resulting rows in the
+paper's layout.  Set ``REPRO_BENCH_FULL=1`` to run the complete grids (all
+backbones × all datasets), which takes considerably longer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+def full_grid_requested() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in {"0", "", "false", "False"}
+
+
+BENCH_SCALE = ExperimentScale(
+    dataset_scale=0.2,
+    embedding_dim=16,
+    llm_dim=32,
+    epochs=2,
+    batch_size=1024,
+    darec_sample_size=64,
+    darec_shared_dim=16,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def full_grid() -> bool:
+    return full_grid_requested()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

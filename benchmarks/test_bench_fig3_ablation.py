@@ -1,0 +1,24 @@
+"""Bench E4 — Fig. 3: ablation of the four DaRec loss terms."""
+
+from __future__ import annotations
+
+from repro.experiments import ABLATION_SETTINGS, format_fig3, run_fig3_ablation
+
+from .conftest import run_once
+
+
+def test_fig3_ablation(benchmark, bench_scale, full_grid):
+    backbones = ("lightgcn", "sgl", "simgcl", "dccf") if full_grid else ("lightgcn",)
+    datasets = ("amazon-book", "yelp", "steam") if full_grid else ("amazon-book",)
+    rows = run_once(
+        benchmark, run_fig3_ablation, backbones=backbones, datasets=datasets, scale=bench_scale
+    )
+    format_fig3(rows)
+
+    assert {row["setting"] for row in rows} == set(ABLATION_SETTINGS)
+    for row in rows:
+        for metric in ("recall@5", "recall@10", "ndcg@5", "ndcg@10"):
+            assert 0.0 <= row[metric] <= 1.0
+    # Each (dataset, backbone) pair is evaluated under all five settings.
+    cells = {(row["dataset"], row["backbone"]) for row in rows}
+    assert len(rows) == len(ABLATION_SETTINGS) * len(cells)

@@ -1,0 +1,28 @@
+"""Bench E5 — Fig. 4: sensitivity to the number of preference centres K."""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig4, run_fig4_k
+
+from .conftest import run_once
+
+
+def test_fig4_k_sensitivity(benchmark, bench_scale, full_grid):
+    backbones = ("lightgcn", "sgl", "simgcl", "dccf") if full_grid else ("lightgcn",)
+    datasets = ("amazon-book", "yelp", "steam") if full_grid else ("amazon-book",)
+    k_values = (2, 4, 5, 8, 10, 100) if full_grid else (2, 4, 8, 100)
+    rows = run_once(
+        benchmark,
+        run_fig4_k,
+        backbones=backbones,
+        datasets=datasets,
+        k_values=k_values,
+        scale=bench_scale,
+    )
+    format_fig4(rows)
+
+    assert {row["K"] for row in rows} == set(k_values)
+    for row in rows:
+        assert 0.0 <= row["recall@10"] <= 1.0
+    # The paper sweeps K across two orders of magnitude including the extreme 100.
+    assert max(row["K"] for row in rows) == 100

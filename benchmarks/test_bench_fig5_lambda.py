@@ -1,0 +1,29 @@
+"""Bench E6 — Fig. 5: sensitivity to the trade-off parameter λ."""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig5, run_fig5_lambda
+
+from .conftest import run_once
+
+
+def test_fig5_lambda_sensitivity(benchmark, bench_scale, full_grid):
+    backbones = ("sgl", "simgcl", "dccf") if full_grid else ("sgl",)
+    datasets = ("amazon-book", "yelp", "steam") if full_grid else ("yelp",)
+    lambdas = (0.01, 0.1, 0.5, 1.0, 10.0, 100.0) if full_grid else (0.01, 0.1, 1.0, 100.0)
+    rows = run_once(
+        benchmark,
+        run_fig5_lambda,
+        backbones=backbones,
+        datasets=datasets,
+        lambdas=lambdas,
+        scale=bench_scale,
+    )
+    format_fig5(rows)
+
+    assert {row["lambda"] for row in rows} == set(lambdas)
+    for row in rows:
+        assert 0.0 <= row["ndcg@10"] <= 1.0
+    # The paper's sweep spans 0.01 … 100 — both extremes must be present.
+    lambdas_seen = {row["lambda"] for row in rows}
+    assert 0.01 in lambdas_seen and 100.0 in lambdas_seen

@@ -1,0 +1,28 @@
+"""Bench E7 — Fig. 6: t-SNE cluster structure of the shared representations."""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig6, run_fig6_tsne
+
+from .conftest import run_once
+
+
+def test_fig6_tsne_structure(benchmark, bench_scale):
+    rows = run_once(
+        benchmark,
+        run_fig6_tsne,
+        backbone_name="lightgcn",
+        dataset_name="steam",
+        scale=bench_scale,
+        max_points=80,
+        tsne_iterations=120,
+    )
+    format_fig6(rows)
+
+    assert {row["side"] for row in rows} == {"collaborative", "llm"}
+    for row in rows:
+        assert row["within_cluster_distance"] > 0
+        assert row["between_cluster_distance"] >= 0
+        # Purity against the ground-truth topics must beat a degenerate
+        # single-cluster assignment (1 / num_topics for the steam preset = 1/6).
+        assert row["purity"] > 1.0 / 6.0

@@ -1,0 +1,28 @@
+"""Bench E8 — Fig. 7: sensitivity to the sub-sampling size N̂."""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig7, run_fig7_sampling
+
+from .conftest import run_once
+
+
+def test_fig7_sampling_sensitivity(benchmark, bench_scale, full_grid):
+    datasets = ("amazon-book", "yelp") if full_grid else ("amazon-book",)
+    sample_sizes = (32, 64, 128, 256)
+    rows = run_once(
+        benchmark,
+        run_fig7_sampling,
+        backbone_name="lightgcn",
+        datasets=datasets,
+        sample_sizes=sample_sizes,
+        scale=bench_scale,
+    )
+    format_fig7(rows)
+
+    assert {row["sample_size"] for row in rows} == set(sample_sizes)
+    for row in rows:
+        assert 0.0 <= row["recall@10"] <= 1.0
+    # The sweep preserves the paper's 1:2:4:8 ratio between N̂ values.
+    ordered = sorted(sample_sizes)
+    assert [s // ordered[0] for s in ordered] == [1, 2, 4, 8]

@@ -1,0 +1,31 @@
+"""Bench E9 — Fig. 8: case study on long-distance user dependencies."""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig8, run_fig8_case_study
+
+from .conftest import run_once
+
+
+def test_fig8_case_study(benchmark, bench_scale):
+    rows = run_once(
+        benchmark,
+        run_fig8_case_study,
+        backbone_name="simgcl",
+        dataset_name="yelp",
+        scale=bench_scale,
+        min_hops=6,
+        max_pairs=5,
+    )
+    format_fig8(rows)
+
+    variants = {row["variant"] for row in rows}
+    assert variants <= {"baseline", "rlmrec-con", "darec"}
+    assert "darec" in variants
+    for row in rows:
+        assert row["num_pairs"] >= 1
+        assert row["mean_rank"] >= 1.0
+        assert -1.0 <= row["mean_relevance"] <= 1.0
+        # All variants are evaluated on the same pairs, so hop statistics agree.
+    hop_values = {round(row["mean_hops"], 6) for row in rows}
+    assert len(hop_values) == 1

@@ -1,0 +1,20 @@
+"""Bench E1 — Table II: dataset summary statistics."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table2, run_table2
+
+from .conftest import run_once
+
+
+def test_table2_dataset_summary(benchmark, bench_scale):
+    rows = run_once(benchmark, run_table2, scale=bench_scale)
+    format_table2(rows)
+    assert {row["Dataset"] for row in rows} == {"amazon-book", "yelp", "steam"}
+    for row in rows:
+        assert row["Users"] > 0 and row["Items"] > 0
+        assert 0.0 < row["Density"] < 1.0
+    # Steam is the densest benchmark in the paper's Table II; the synthetic
+    # presets preserve that ordering.
+    density = {row["Dataset"]: row["Density"] for row in rows}
+    assert density["steam"] > density["amazon-book"]

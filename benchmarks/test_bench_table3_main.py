@@ -1,0 +1,32 @@
+"""Bench E2 — Table III: main comparison (backbones × variants × datasets)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_table3, run_table3
+from repro.experiments.table3 import DEFAULT_BACKBONES, DEFAULT_DATASETS
+
+from .conftest import run_once
+
+
+def test_table3_main_comparison(benchmark, bench_scale, full_grid):
+    backbones = DEFAULT_BACKBONES if full_grid else ("gccf", "lightgcn", "sgl")
+    datasets = DEFAULT_DATASETS if full_grid else ("amazon-book", "yelp")
+    rows = run_once(benchmark, run_table3, backbones=backbones, datasets=datasets, scale=bench_scale)
+    format_table3(rows)
+
+    metric_rows = [row for row in rows if row["variant"] != "improvement-%"]
+    assert {row["variant"] for row in metric_rows} == {"baseline", "rlmrec-con", "rlmrec-gen", "darec"}
+    for row in metric_rows:
+        for key, value in row.items():
+            if "@" in key:
+                assert 0.0 <= value <= 1.0
+
+    # Paper shape: averaged over the grid, the LLM-aligned variants (and DaRec
+    # in particular) should not fall behind the plain baseline.
+    def mean_metric(variant: str, metric: str = "recall@20") -> float:
+        values = [row[metric] for row in metric_rows if row["variant"] == variant]
+        return float(np.mean(values))
+
+    assert mean_metric("darec") >= mean_metric("baseline") - 0.01

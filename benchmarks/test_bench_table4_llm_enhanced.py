@@ -1,0 +1,22 @@
+"""Bench E3 — Table IV: comparison against LLM-enhanced methods (incl. KAR)."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table4, run_table4
+
+from .conftest import run_once
+
+
+def test_table4_llm_enhanced(benchmark, bench_scale, full_grid):
+    backbones = ("lightgcn", "sgl") if full_grid else ("lightgcn",)
+    datasets = ("amazon-book", "yelp") if full_grid else ("amazon-book",)
+    rows = run_once(benchmark, run_table4, backbones=backbones, datasets=datasets, scale=bench_scale)
+    format_table4(rows)
+
+    assert {row["variant"] for row in rows} == {"baseline", "rlmrec-con", "rlmrec-gen", "kar", "darec"}
+    for row in rows:
+        assert 0.0 <= row["recall@20"] <= 1.0
+        assert 0.0 <= row["ndcg@20"] <= 1.0
+    # Every (dataset, backbone) cell contains all five variants.
+    cells = {(row["dataset"], row["backbone"]) for row in rows}
+    assert len(rows) == 5 * len(cells)

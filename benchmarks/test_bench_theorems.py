@@ -1,0 +1,31 @@
+"""Bench E10 — empirical information-theoretic checks of Theorems 1 and 2."""
+
+from __future__ import annotations
+
+from repro.experiments import format_theorem_checks, run_theorem_checks
+
+from .conftest import run_once
+
+
+def test_theorem_information_analysis(benchmark, bench_scale):
+    rows = run_once(
+        benchmark,
+        run_theorem_checks,
+        backbone_name="lightgcn",
+        dataset_name="amazon-book",
+        scale=bench_scale,
+        num_codewords=10,
+    )
+    format_theorem_checks(rows)
+
+    assert len(rows) == 2
+    by_name = {row["representation"]: row for row in rows}
+    exact = by_name["exact-alignment (RLMRec-Con)"]
+    disentangled = by_name["disentangled (DaRec)"]
+    for row in rows:
+        assert row["mutual_information"] >= 0.0
+        assert row["conditional_entropy"] >= 0.0
+    # Theorem 2's direction: the disentangled representation should retain at
+    # least as much task-relevant information as the exactly aligned one
+    # (estimator noise allows a small slack).
+    assert disentangled["mutual_information"] >= exact["mutual_information"] - 0.1

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517/660 editable installs (which need ``bdist_wheel``) are unavailable.
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` fall
+back to the legacy ``setup.py develop`` path; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

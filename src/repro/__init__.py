@@ -1,0 +1,51 @@
+"""repro — reproduction of DaRec (ICDE 2025): disentangled alignment of LLMs and recommenders.
+
+The package is organised in layers:
+
+* :mod:`repro.nn` — NumPy autograd / neural-network substrate (PyTorch substitute);
+* :mod:`repro.data`, :mod:`repro.graph`, :mod:`repro.llm` — data, graph and
+  (simulated) LLM substrates;
+* :mod:`repro.models` — collaborative filtering backbones (GCCF, LightGCN, SGL,
+  SimGCL, DCCF, AutoCF, BPR-MF);
+* :mod:`repro.align` — plug-and-play alignment frameworks: DaRec (the paper's
+  contribution) plus the RLMRec and KAR baselines;
+* :mod:`repro.train`, :mod:`repro.eval` — joint training loop and the
+  all-ranking evaluation protocol;
+* :mod:`repro.analysis`, :mod:`repro.experiments` — information-theoretic
+  analysis, t-SNE, case study and one runner per paper table/figure.
+
+Quickstart::
+
+    from repro.data import load_benchmark
+    from repro.llm import SimulatedLLMEncoder
+    from repro.models import LightGCN
+    from repro.align import DaRec, DaRecConfig
+    from repro.train import train_recommender, TrainingConfig
+    from repro.eval import RankingEvaluator
+
+    dataset = load_benchmark("amazon-book", scale=0.3)
+    semantic = SimulatedLLMEncoder(embedding_dim=64).encode(dataset)
+    backbone = LightGCN(dataset, embedding_dim=32)
+    alignment = DaRec(backbone, semantic, DaRecConfig(sample_size=128))
+    model, history = train_recommender(backbone, alignment, TrainingConfig(epochs=3))
+    print(RankingEvaluator(dataset).evaluate(model).metrics)
+"""
+
+from . import align, analysis, cluster, data, eval, experiments, graph, llm, models, nn, train
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "align",
+    "analysis",
+    "cluster",
+    "data",
+    "eval",
+    "experiments",
+    "graph",
+    "llm",
+    "models",
+    "nn",
+    "train",
+    "__version__",
+]

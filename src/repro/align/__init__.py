@@ -1,0 +1,38 @@
+"""Alignment frameworks: DaRec (ours) plus the RLMRec and KAR baselines."""
+
+from .base import AlignmentModule, AlignedRecommender
+from .rlmrec import RLMRecContrastive, RLMRecGenerative
+from .kar import KAR
+from .darec import DaRec, DaRecConfig
+
+ALIGNMENTS = {
+    "none": None,
+    "rlmrec-con": RLMRecContrastive,
+    "rlmrec-gen": RLMRecGenerative,
+    "kar": KAR,
+    "darec": DaRec,
+}
+
+
+def create_alignment(name: str, backbone, semantic, **kwargs):
+    """Instantiate an alignment framework by name (``None`` for plain backbones)."""
+    key = name.lower()
+    if key not in ALIGNMENTS:
+        raise KeyError(f"unknown alignment '{name}'; choose from {sorted(ALIGNMENTS)}")
+    cls = ALIGNMENTS[key]
+    if cls is None:
+        return None
+    return cls(backbone, semantic, **kwargs)
+
+
+__all__ = [
+    "AlignmentModule",
+    "AlignedRecommender",
+    "RLMRecContrastive",
+    "RLMRecGenerative",
+    "KAR",
+    "DaRec",
+    "DaRecConfig",
+    "ALIGNMENTS",
+    "create_alignment",
+]

@@ -1,0 +1,118 @@
+"""Plug-and-play alignment interface.
+
+An :class:`AlignmentModule` attaches to any backbone from :mod:`repro.models`
+and contributes (a) an auxiliary loss added to the backbone's own objective
+with trade-off weight λ (paper Eq. 11) and, optionally, (b) a representation
+transform applied before scoring (used by KAR-style augmentation methods).
+
+:class:`AlignedRecommender` is the composite the trainer and the evaluation
+protocol operate on — it behaves exactly like a backbone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.sampling import BprBatch
+from ..llm.provider import SemanticEmbeddings
+from ..models.base import BaseRecommender
+from ..nn import Module, Tensor, no_grad
+
+__all__ = ["AlignmentModule", "AlignedRecommender"]
+
+
+class AlignmentModule(Module):
+    """Base class for LLM-to-collaborative-model alignment strategies."""
+
+    name = "identity"
+
+    def __init__(self, backbone: BaseRecommender, semantic: SemanticEmbeddings) -> None:
+        super().__init__()
+        if semantic.num_users != backbone.num_users or semantic.num_items != backbone.num_items:
+            raise ValueError(
+                "semantic embeddings do not match the dataset: "
+                f"({semantic.num_users}, {semantic.num_items}) vs "
+                f"({backbone.num_users}, {backbone.num_items})"
+            )
+        self.backbone = backbone
+        self.semantic = semantic
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+    def alignment_loss(self, batch: BprBatch) -> Tensor:
+        """Auxiliary loss for one mini-batch (default: nothing)."""
+        return Tensor(0.0)
+
+    def transform_representations(self, users: Tensor, items: Tensor) -> tuple[Tensor, Tensor]:
+        """Optionally modify the backbone representations before scoring."""
+        return users, items
+
+    def on_epoch_start(self) -> None:
+        """Per-epoch hook (e.g. refresh sub-sampling seeds)."""
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def batch_node_indices(self, batch: BprBatch) -> np.ndarray:
+        """Joint (user-first) node indices touched by a BPR batch."""
+        users = np.unique(batch.users)
+        items = np.unique(np.concatenate([batch.pos_items, batch.neg_items]))
+        return np.concatenate([users, items + self.backbone.num_users])
+
+    def semantic_matrix(self) -> np.ndarray:
+        """Joint LLM-side embedding matrix (users stacked above items)."""
+        return self.semantic.concatenated()
+
+
+class AlignedRecommender(Module):
+    """Backbone + alignment framework, optimised jointly (paper Eq. 11)."""
+
+    def __init__(
+        self,
+        backbone: BaseRecommender,
+        alignment: AlignmentModule | None = None,
+        trade_off: float = 0.1,
+    ) -> None:
+        super().__init__()
+        if trade_off < 0:
+            raise ValueError("trade_off must be non-negative")
+        self.backbone = backbone
+        self.alignment = alignment
+        self.trade_off = trade_off
+
+    @property
+    def name(self) -> str:
+        align_name = self.alignment.name if self.alignment is not None else "none"
+        return f"{self.backbone.name}+{align_name}"
+
+    @property
+    def dataset(self):
+        return self.backbone.dataset
+
+    def on_epoch_start(self) -> None:
+        self.backbone.on_epoch_start()
+        if self.alignment is not None:
+            self.alignment.on_epoch_start()
+
+    def loss(self, batch: BprBatch) -> Tensor:
+        """Joint objective ``L_base + λ · L_align`` for one mini-batch."""
+        total = self.backbone.bpr_step(batch)
+        if self.alignment is not None and self.trade_off:
+            total = total + self.trade_off * self.alignment.alignment_loss(batch)
+        return total
+
+    def propagate(self) -> tuple[Tensor, Tensor]:
+        users, items = self.backbone.propagate()
+        if self.alignment is not None:
+            users, items = self.alignment.transform_representations(users, items)
+        return users, items
+
+    def score_all(self) -> np.ndarray:
+        with no_grad():
+            users, items = self.propagate()
+            return users.data @ items.data.T
+
+    def representations(self) -> Tensor:
+        users, items = self.propagate()
+        return Tensor.concat([users, items], axis=0)

@@ -1,0 +1,29 @@
+"""DaRec core: disentanglement, structure-alignment losses and the framework."""
+
+from .disentangle import DisentangledProjectors, DisentangledRepresentations
+from .losses import (
+    orthogonality_loss,
+    uniformity_loss,
+    pairwise_gaussian_potential,
+    global_structure_loss,
+    local_structure_loss,
+    center_cosine_matrix,
+)
+from .matching import greedy_center_matching, identity_matching, match_centers
+from .framework import DaRec, DaRecConfig
+
+__all__ = [
+    "DisentangledProjectors",
+    "DisentangledRepresentations",
+    "orthogonality_loss",
+    "uniformity_loss",
+    "pairwise_gaussian_potential",
+    "global_structure_loss",
+    "local_structure_loss",
+    "center_cosine_matrix",
+    "greedy_center_matching",
+    "identity_matching",
+    "match_centers",
+    "DaRec",
+    "DaRecConfig",
+]

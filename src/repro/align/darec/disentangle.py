@@ -1,0 +1,86 @@
+"""Representation disentanglement (paper Eq. 1).
+
+Four exclusive MLP encoders split the collaborative representation ``E_C`` and
+the LLM representation ``E_L`` into *shared* and *specific* components living
+in a common latent space, so that the structure alignment (global/local) can be
+restricted to the shared parts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import MLP, Module, Tensor
+
+__all__ = ["DisentangledRepresentations", "DisentangledProjectors"]
+
+
+class DisentangledRepresentations:
+    """The four components produced by one forward pass of the projectors."""
+
+    __slots__ = ("collab_shared", "collab_specific", "llm_shared", "llm_specific")
+
+    def __init__(
+        self,
+        collab_shared: Tensor,
+        collab_specific: Tensor,
+        llm_shared: Tensor,
+        llm_specific: Tensor,
+    ) -> None:
+        self.collab_shared = collab_shared
+        self.collab_specific = collab_specific
+        self.llm_shared = llm_shared
+        self.llm_specific = llm_specific
+
+    def concatenated(self, side: str = "collab") -> Tensor:
+        """Shared ⊕ specific representation of one side (the paper's ``Ê``)."""
+        if side == "collab":
+            return Tensor.concat([self.collab_shared, self.collab_specific], axis=1)
+        if side == "llm":
+            return Tensor.concat([self.llm_shared, self.llm_specific], axis=1)
+        raise ValueError("side must be 'collab' or 'llm'")
+
+
+class DisentangledProjectors(Module):
+    """MLP encoders ``f_sp^C, f_sh^C, f_sp^L, f_sh^L`` of Eq. (1)."""
+
+    def __init__(
+        self,
+        collab_dim: int,
+        llm_dim: int,
+        shared_dim: int = 64,
+        specific_dim: int | None = None,
+        hidden_dim: int = 64,
+        activation: str = "leaky_relu",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if shared_dim <= 0:
+            raise ValueError("shared_dim must be positive")
+        specific_dim = specific_dim or shared_dim
+        rng = np.random.default_rng(seed)
+        self.shared_dim = shared_dim
+        self.specific_dim = specific_dim
+
+        def _mlp(in_dim: int, out_dim: int) -> MLP:
+            return MLP(
+                in_features=in_dim,
+                hidden_features=[hidden_dim],
+                out_features=out_dim,
+                activation=activation,
+                rng=rng,
+            )
+
+        self.collab_shared_encoder = _mlp(collab_dim, shared_dim)
+        self.collab_specific_encoder = _mlp(collab_dim, specific_dim)
+        self.llm_shared_encoder = _mlp(llm_dim, shared_dim)
+        self.llm_specific_encoder = _mlp(llm_dim, specific_dim)
+
+    def forward(self, collab: Tensor, llm: Tensor) -> DisentangledRepresentations:
+        """Disentangle a batch of collaborative and LLM representations."""
+        return DisentangledRepresentations(
+            collab_shared=self.collab_shared_encoder(collab),
+            collab_specific=self.collab_specific_encoder(collab),
+            llm_shared=self.llm_shared_encoder(llm),
+            llm_specific=self.llm_specific_encoder(llm),
+        )

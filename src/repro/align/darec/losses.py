@@ -1,0 +1,96 @@
+"""DaRec loss terms (paper Eq. 2-5 and 9-10).
+
+* :func:`orthogonality_loss` — Eq. (2): squared cosine similarity between the
+  specific and shared component of each modality.
+* :func:`uniformity_loss` — Eq. (3): log of the mean pairwise Gaussian
+  potential of the (unit-normalised) specific representations, keeping them
+  informative instead of collapsing to a constant.
+* :func:`global_structure_loss` — Eq. (4)-(5): Frobenius distance between the
+  pairwise similarity matrices of the two shared representations.
+* :func:`local_structure_loss` — Eq. (9)-(10): cosine similarities between the
+  (matched) preference centres; diagonal pulled to one, off-diagonal pushed to
+  zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import Tensor, functional as F
+
+__all__ = [
+    "orthogonality_loss",
+    "uniformity_loss",
+    "pairwise_gaussian_potential",
+    "global_structure_loss",
+    "local_structure_loss",
+    "center_cosine_matrix",
+]
+
+
+def orthogonality_loss(specific: Tensor, shared: Tensor) -> Tensor:
+    """Mean squared cosine similarity between paired specific/shared rows."""
+    if specific.shape[0] != shared.shape[0]:
+        raise ValueError("specific and shared batches must have the same number of rows")
+    cosine = F.cosine_similarity(specific, shared)
+    return (cosine * cosine).mean()
+
+
+def pairwise_gaussian_potential(x: Tensor, t: float = 2.0) -> Tensor:
+    """``log E exp(-t ||G(x_i) - G(x_j)||^2)`` over all pairs of rows of ``x``."""
+    normalised = F.l2_normalize(x)
+    squared_norms = (normalised * normalised).sum(axis=1, keepdims=True)
+    distances = squared_norms + squared_norms.T - 2.0 * (normalised @ normalised.T)
+    # Numerical noise can push tiny distances slightly negative.
+    distances = distances.clip(0.0, 4.0)
+    return ((distances * (-t)).exp().mean()).log()
+
+
+def uniformity_loss(collab_specific: Tensor, llm_specific: Tensor, t: float = 2.0) -> Tensor:
+    """Eq. (3): uniformity of the specific representations of both modalities."""
+    return pairwise_gaussian_potential(collab_specific, t) + pairwise_gaussian_potential(
+        llm_specific, t
+    )
+
+
+def global_structure_loss(collab_shared: Tensor, llm_shared: Tensor, normalise: bool = True) -> Tensor:
+    """Eq. (4)-(5): match the pairwise similarity structure of the shared spaces.
+
+    ``normalise=True`` (default) computes the similarity matrices on
+    L2-normalised rows and divides the Frobenius norm by the number of entries,
+    which keeps the loss scale independent of the N̂ sub-sample size; the
+    un-normalised variant follows the paper's formula verbatim.
+    """
+    if collab_shared.shape[0] != llm_shared.shape[0]:
+        raise ValueError("shared representations must cover the same instances")
+    if normalise:
+        collab_shared = F.l2_normalize(collab_shared)
+        llm_shared = F.l2_normalize(llm_shared)
+    sim_collab = collab_shared @ collab_shared.T
+    sim_llm = llm_shared @ llm_shared.T
+    diff = sim_collab - sim_llm
+    frobenius = (diff * diff).sum()
+    if normalise:
+        count = collab_shared.shape[0] * collab_shared.shape[0]
+        return frobenius * (1.0 / count)
+    return frobenius
+
+
+def center_cosine_matrix(collab_centers: Tensor, llm_centers: Tensor) -> Tensor:
+    """Eq. (9): cosine similarity between every pair of preference centres."""
+    return F.pairwise_cosine(collab_centers, llm_centers)
+
+
+def local_structure_loss(collab_centers: Tensor, llm_centers: Tensor) -> Tensor:
+    """Eq. (10): matched centres agree (diagonal → 1), others repel (off-diag → 0)."""
+    if collab_centers.shape != llm_centers.shape:
+        raise ValueError("centre matrices must have identical shapes")
+    k = collab_centers.shape[0]
+    similarity = center_cosine_matrix(collab_centers, llm_centers)
+    eye = np.eye(k)
+    diagonal = (similarity * Tensor(eye)).sum(axis=1)
+    diagonal_term = ((diagonal - 1.0) ** 2).mean()
+    off_diag_mask = Tensor(1.0 - eye)
+    off_count = max(k * k - k, 1)
+    off_diag_term = ((similarity * off_diag_mask) ** 2).sum() * (1.0 / off_count)
+    return diagonal_term + off_diag_term

@@ -1,0 +1,70 @@
+"""Adaptive preference-centre matching (paper Eq. 7-8).
+
+K-means gives two unordered sets of preference centres (one from the
+collaborative shared space, one from the LLM shared space).  Before the local
+alignment of Eq. (10) can pull corresponding centres together, the two sets
+must be put into correspondence.  The paper does this greedily: repeatedly take
+the globally closest unmatched (i, j) pair of centres, fix that correspondence,
+and continue with the remaining centres until all are matched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["greedy_center_matching", "identity_matching", "match_centers"]
+
+
+def greedy_center_matching(collab_centers: np.ndarray, llm_centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return index arrays (collab_order, llm_order) implementing Eq. (8).
+
+    The returned orders are permutations such that ``collab_centers[collab_order[r]]``
+    and ``llm_centers[llm_order[r]]`` form the r-th matched pair (pairs are
+    produced in ascending order of their Euclidean distance at the time of
+    matching).
+    """
+    collab_centers = np.asarray(collab_centers, dtype=np.float64)
+    llm_centers = np.asarray(llm_centers, dtype=np.float64)
+    if collab_centers.shape != llm_centers.shape:
+        raise ValueError("both centre sets must have the same shape")
+    k = collab_centers.shape[0]
+    distances = (
+        np.sum(collab_centers**2, axis=1, keepdims=True)
+        - 2.0 * collab_centers @ llm_centers.T
+        + np.sum(llm_centers**2, axis=1)
+    )
+    distances = np.maximum(distances, 0.0)
+
+    collab_order = np.empty(k, dtype=np.int64)
+    llm_order = np.empty(k, dtype=np.int64)
+    available = distances.copy()
+    for rank in range(k):
+        flat_index = int(np.argmin(available))
+        i, j = np.unravel_index(flat_index, available.shape)
+        collab_order[rank] = i
+        llm_order[rank] = j
+        available[i, :] = np.inf
+        available[:, j] = np.inf
+    return collab_order, llm_order
+
+
+def identity_matching(collab_centers: np.ndarray, llm_centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Naive matching that keeps the original k-means ordering (ablation baseline)."""
+    k = np.asarray(collab_centers).shape[0]
+    order = np.arange(k, dtype=np.int64)
+    return order, order
+
+
+_STRATEGIES = {
+    "adaptive": greedy_center_matching,
+    "identity": identity_matching,
+}
+
+
+def match_centers(
+    collab_centers: np.ndarray, llm_centers: np.ndarray, strategy: str = "adaptive"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch to a matching strategy by name ("adaptive" or "identity")."""
+    if strategy not in _STRATEGIES:
+        raise KeyError(f"unknown matching strategy '{strategy}'; choose from {sorted(_STRATEGIES)}")
+    return _STRATEGIES[strategy](collab_centers, llm_centers)

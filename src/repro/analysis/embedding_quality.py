@@ -1,0 +1,94 @@
+"""Representation-quality metrics: alignment and uniformity (Wang & Yu et al.).
+
+The paper's uniformity regulariser (Eq. 3) comes from the
+"alignment & uniformity" analysis of contrastive representation learning
+(reference [25] of the paper).  This module provides the corresponding
+*evaluation* metrics so experiments can quantify how the different alignment
+strategies shape the embedding space:
+
+* :func:`alignment_metric` — mean squared distance between positive pairs on
+  the unit sphere (lower = better aligned);
+* :func:`uniformity_metric` — log mean Gaussian potential of the embedding
+  cloud (lower = more uniform);
+* :func:`neighborhood_overlap` — how much of a user's semantic (LLM-side)
+  neighbourhood is preserved in the collaborative space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["alignment_metric", "uniformity_metric", "neighborhood_overlap", "embedding_quality_report"]
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D embedding matrix")
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norms, 1e-12)
+
+
+def alignment_metric(anchors: np.ndarray, positives: np.ndarray, alpha: float = 2.0) -> float:
+    """Mean ``||x - y||^alpha`` over positive pairs of unit-normalised rows."""
+    anchors = _normalize_rows(anchors)
+    positives = _normalize_rows(positives)
+    if anchors.shape != positives.shape:
+        raise ValueError("anchors and positives must have identical shapes")
+    distances = np.linalg.norm(anchors - positives, axis=1)
+    return float(np.mean(distances**alpha))
+
+
+def uniformity_metric(embeddings: np.ndarray, t: float = 2.0) -> float:
+    """``log E exp(-t ||x - y||^2)`` over all pairs of unit-normalised rows."""
+    normalised = _normalize_rows(embeddings)
+    squared = np.sum(normalised**2, axis=1)
+    distances = squared[:, None] - 2.0 * normalised @ normalised.T + squared[None, :]
+    distances = np.maximum(distances, 0.0)
+    return float(np.log(np.mean(np.exp(-t * distances))))
+
+
+def neighborhood_overlap(
+    collaborative: np.ndarray, semantic: np.ndarray, k: int = 10
+) -> float:
+    """Mean Jaccard overlap of the k-nearest-neighbour sets in the two spaces.
+
+    Measures how much of the LLM-side semantic neighbourhood structure is
+    carried over into the collaborative embedding space — the quantity the
+    global structure alignment (Eq. 4-5) is designed to increase.
+    """
+    collaborative = _normalize_rows(collaborative)
+    semantic = _normalize_rows(semantic)
+    if collaborative.shape[0] != semantic.shape[0]:
+        raise ValueError("both spaces must embed the same instances")
+    n = collaborative.shape[0]
+    if n < 3:
+        raise ValueError("need at least three instances")
+    k = min(k, n - 1)
+
+    def knn_sets(matrix: np.ndarray) -> list[set[int]]:
+        similarity = matrix @ matrix.T
+        np.fill_diagonal(similarity, -np.inf)
+        order = np.argsort(-similarity, axis=1)[:, :k]
+        return [set(row.tolist()) for row in order]
+
+    collab_knn = knn_sets(collaborative)
+    semantic_knn = knn_sets(semantic)
+    overlaps = [
+        len(a & b) / len(a | b) if (a | b) else 0.0 for a, b in zip(collab_knn, semantic_knn)
+    ]
+    return float(np.mean(overlaps))
+
+
+def embedding_quality_report(
+    collaborative: np.ndarray, semantic: np.ndarray, k: int = 10
+) -> dict[str, float]:
+    """Bundle of all three metrics for a (collaborative, semantic) embedding pair."""
+    return {
+        "alignment": alignment_metric(collaborative, semantic)
+        if collaborative.shape == semantic.shape
+        else float("nan"),
+        "uniformity_collaborative": uniformity_metric(collaborative),
+        "uniformity_semantic": uniformity_metric(semantic),
+        "neighborhood_overlap": neighborhood_overlap(collaborative, semantic, k=k),
+    }

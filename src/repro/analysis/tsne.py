@@ -1,0 +1,115 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008) for Fig. 6's visualisation.
+
+scikit-learn is unavailable offline, so this is a compact NumPy implementation:
+perplexity calibration by per-point binary search over the Gaussian bandwidth,
+followed by gradient descent with momentum and early exaggeration on the
+Student-t low-dimensional affinities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TSNEConfig", "tsne", "pairwise_squared_distances"]
+
+
+@dataclass
+class TSNEConfig:
+    n_components: int = 2
+    perplexity: float = 15.0
+    learning_rate: float = 100.0
+    n_iterations: int = 300
+    early_exaggeration: float = 4.0
+    exaggeration_iterations: int = 50
+    momentum: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_components <= 0:
+            raise ValueError("n_components must be positive")
+        if self.perplexity <= 1:
+            raise ValueError("perplexity must exceed 1")
+        if self.n_iterations <= 0:
+            raise ValueError("n_iterations must be positive")
+
+
+def pairwise_squared_distances(data: np.ndarray) -> np.ndarray:
+    """Dense matrix of squared Euclidean distances between rows."""
+    squared = np.sum(data**2, axis=1)
+    distances = squared[:, None] - 2.0 * data @ data.T + squared[None, :]
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _conditional_probabilities(distances: np.ndarray, perplexity: float) -> np.ndarray:
+    """Per-row Gaussian affinities whose entropy matches log(perplexity)."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        beta_low, beta_high = 1e-20, 1e20
+        beta = 1.0
+        row = np.delete(distances[i], i)
+        for _ in range(60):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= 0:
+                beta /= 2.0
+                continue
+            p = weights / total
+            entropy = -np.sum(p * np.log(p + 1e-12))
+            if abs(entropy - target_entropy) < 1e-5:
+                break
+            if entropy > target_entropy:
+                beta_low = beta
+                beta = beta * 2.0 if beta_high >= 1e19 else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = beta / 2.0 if beta_low <= 1e-19 else (beta + beta_low) / 2.0
+        weights = np.exp(-row * beta)
+        p = weights / max(weights.sum(), 1e-12)
+        probabilities[i, np.arange(n) != i] = p
+    return probabilities
+
+
+def tsne(data: np.ndarray, config: TSNEConfig | None = None) -> np.ndarray:
+    """Embed ``data`` into ``config.n_components`` dimensions."""
+    config = config or TSNEConfig()
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be a 2-D array")
+    n = data.shape[0]
+    if n < 4:
+        raise ValueError("t-SNE needs at least four points")
+    perplexity = min(config.perplexity, (n - 1) / 3.0)
+
+    distances = pairwise_squared_distances(data)
+    conditional = _conditional_probabilities(distances, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    joint = np.maximum(joint, 1e-12)
+
+    rng = np.random.default_rng(config.seed)
+    embedding = rng.normal(0.0, 1e-4, size=(n, config.n_components))
+    velocity = np.zeros_like(embedding)
+
+    for iteration in range(config.n_iterations):
+        exaggeration = config.early_exaggeration if iteration < config.exaggeration_iterations else 1.0
+        p = joint * exaggeration
+
+        low_distances = pairwise_squared_distances(embedding)
+        student = 1.0 / (1.0 + low_distances)
+        np.fill_diagonal(student, 0.0)
+        q = student / max(student.sum(), 1e-12)
+        q = np.maximum(q, 1e-12)
+
+        pq_diff = (p - q) * student
+        gradient = 4.0 * (
+            np.diag(pq_diff.sum(axis=1)) @ embedding - pq_diff @ embedding
+        )
+
+        velocity = config.momentum * velocity - config.learning_rate * gradient
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0, keepdims=True)
+    return embedding

@@ -1,0 +1,90 @@
+"""Command-line interface around the experiment registry.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table4 --epochs 4 --dataset-scale 0.3
+    python -m repro datasets --scale 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .data.synthetic import BENCHMARKS, load_benchmark
+from .experiments import EXPERIMENTS, ExperimentScale, get_experiment
+from .experiments.reporting import print_table
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DaRec reproduction — regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the reproducible paper artefacts")
+
+    run = subparsers.add_parser("run", help="run one experiment by identifier (e.g. table3, fig4)")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment identifier")
+    run.add_argument("--dataset-scale", type=float, default=0.25, help="synthetic dataset size multiplier")
+    run.add_argument("--epochs", type=int, default=2, help="training epochs per model")
+    run.add_argument("--embedding-dim", type=int, default=32, help="backbone embedding width")
+    run.add_argument("--llm-dim", type=int, default=64, help="simulated LLM embedding width")
+    run.add_argument("--seed", type=int, default=0, help="random seed")
+
+    datasets = subparsers.add_parser("datasets", help="print the synthetic benchmark statistics")
+    datasets.add_argument("--scale", type=float, default=0.25, help="dataset size multiplier")
+
+    return parser
+
+
+def _command_list() -> int:
+    rows = [
+        {
+            "id": experiment.identifier,
+            "artefact": experiment.artefact,
+            "description": experiment.description,
+        }
+        for experiment in EXPERIMENTS.values()
+    ]
+    print_table(rows, columns=["id", "artefact", "description"], title="Reproducible experiments")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    scale = ExperimentScale(
+        dataset_scale=args.dataset_scale,
+        epochs=args.epochs,
+        embedding_dim=args.embedding_dim,
+        llm_dim=args.llm_dim,
+        seed=args.seed,
+    )
+    experiment = get_experiment(args.experiment)
+    rows = experiment.runner(scale=scale)
+    print_table(rows, title=f"{experiment.artefact} — {experiment.description}")
+    return 0
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(BENCHMARKS):
+        dataset = load_benchmark(name, scale=args.scale)
+        rows.append(dataset.stats().as_row())
+    print_table(rows, title="Synthetic benchmark statistics")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro``; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "datasets":
+        return _command_datasets(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,5 @@
+"""Clustering utilities (NumPy k-means, scikit-learn substitute)."""
+
+from .kmeans import KMeansResult, kmeans, assign_to_centers
+
+__all__ = ["KMeansResult", "kmeans", "assign_to_centers"]

@@ -1,0 +1,107 @@
+"""K-Means clustering (k-means++ initialisation, Lloyd iterations).
+
+Used by DaRec's local structure alignment (Eq. 6 of the paper) to obtain the
+preference centres of the shared representations, and by the analysis module
+to quantify the cluster structure shown in Fig. 6.  scikit-learn is not
+available offline, hence this self-contained implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans", "assign_to_centers"]
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a k-means run."""
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iterations: int
+
+
+def _kmeans_plus_plus(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread the initial centres proportionally to distance."""
+    n = data.shape[0]
+    centers = np.empty((k, data.shape[1]))
+    first = rng.integers(0, n)
+    centers[0] = data[first]
+    closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+    for index in range(1, k):
+        total = closest_sq.sum()
+        if total <= 1e-18:
+            # All points coincide with existing centres; fall back to random picks.
+            centers[index] = data[rng.integers(0, n)]
+            continue
+        probabilities = closest_sq / total
+        choice = rng.choice(n, p=probabilities)
+        centers[index] = data[choice]
+        distances = np.sum((data - centers[index]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, distances)
+    return centers
+
+
+def assign_to_centers(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Return the index of the nearest centre (squared Euclidean) for every row."""
+    distances = (
+        np.sum(data**2, axis=1, keepdims=True)
+        - 2.0 * data @ centers.T
+        + np.sum(centers**2, axis=1)
+    )
+    return np.argmin(distances, axis=1)
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    max_iterations: int = 50,
+    tolerance: float = 1e-6,
+    seed: int = 0,
+) -> KMeansResult:
+    """Cluster ``data`` into ``k`` groups.
+
+    When ``k`` exceeds the number of points, the surplus centres are duplicates
+    of randomly chosen points so that downstream code always receives exactly
+    ``k`` centres (the paper sweeps K up to 100 on small sub-samples).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be a 2-D array")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    rng = np.random.default_rng(seed)
+    n = data.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster an empty dataset")
+    if k >= n:
+        centers = data[rng.integers(0, n, size=k)].copy()
+        centers[:n] = data
+        labels = assign_to_centers(data, centers)
+        inertia = float(np.sum((data - centers[labels]) ** 2))
+        return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iterations=0)
+
+    centers = _kmeans_plus_plus(data, k, rng)
+    labels = assign_to_centers(data, centers)
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        new_centers = centers.copy()
+        for cluster in range(k):
+            members = data[labels == cluster]
+            if len(members):
+                new_centers[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed empty clusters at the point farthest from its centre.
+                distances = np.sum((data - centers[labels]) ** 2, axis=1)
+                new_centers[cluster] = data[np.argmax(distances)]
+        shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+        centers = new_centers
+        labels = assign_to_centers(data, centers)
+        if shift < tolerance:
+            break
+    inertia = float(np.sum((data - centers[labels]) ** 2))
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iterations=iteration)

@@ -1,0 +1,41 @@
+"""Data substrate: interaction datasets, synthetic benchmarks, samplers, profiles."""
+
+from .interactions import InteractionDataset, RatingTable, DatasetStats
+from .preprocess import build_dataset, sparse_split, core_filter
+from .synthetic import (
+    SyntheticConfig,
+    generate_rating_table,
+    generate_dataset,
+    load_benchmark,
+    amazon_book_config,
+    yelp_config,
+    steam_config,
+    BENCHMARKS,
+)
+from .sampling import BprSampler, BprBatch, UniformPairSampler, sample_instances
+from .profiles import build_user_profiles, build_item_profiles, build_profiles, TOPIC_VOCABULARY
+
+__all__ = [
+    "InteractionDataset",
+    "RatingTable",
+    "DatasetStats",
+    "build_dataset",
+    "sparse_split",
+    "core_filter",
+    "SyntheticConfig",
+    "generate_rating_table",
+    "generate_dataset",
+    "load_benchmark",
+    "amazon_book_config",
+    "yelp_config",
+    "steam_config",
+    "BENCHMARKS",
+    "BprSampler",
+    "BprBatch",
+    "UniformPairSampler",
+    "sample_instances",
+    "build_user_profiles",
+    "build_item_profiles",
+    "build_profiles",
+    "TOPIC_VOCABULARY",
+]

@@ -1,0 +1,176 @@
+"""Core interaction dataset container used by every backbone and experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["RatingTable", "InteractionDataset", "DatasetStats"]
+
+
+@dataclass
+class RatingTable:
+    """A flat table of (user, item, rating) triples before splitting.
+
+    The paper's preprocessing ("filter out the interactions with the ratings
+    below 3") operates on this table; the split datasets only keep implicit
+    (binary) feedback afterwards, matching the all-ranking evaluation protocol.
+    """
+
+    users: np.ndarray
+    items: np.ndarray
+    ratings: np.ndarray
+    num_users: int
+    num_items: int
+
+    def __post_init__(self) -> None:
+        self.users = np.asarray(self.users, dtype=np.int64)
+        self.items = np.asarray(self.items, dtype=np.int64)
+        self.ratings = np.asarray(self.ratings, dtype=np.float64)
+        if not (len(self.users) == len(self.items) == len(self.ratings)):
+            raise ValueError("users, items and ratings must have equal length")
+        if len(self.users) and (self.users.min() < 0 or self.users.max() >= self.num_users):
+            raise ValueError("user index out of range")
+        if len(self.items) and (self.items.min() < 0 or self.items.max() >= self.num_items):
+            raise ValueError("item index out of range")
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def filter_min_rating(self, threshold: float = 3.0) -> "RatingTable":
+        """Drop interactions whose rating is strictly below ``threshold``."""
+        keep = self.ratings >= threshold
+        return RatingTable(
+            users=self.users[keep],
+            items=self.items[keep],
+            ratings=self.ratings[keep],
+            num_users=self.num_users,
+            num_items=self.num_items,
+        )
+
+    def deduplicate(self) -> "RatingTable":
+        """Keep a single (highest-rating) entry per user-item pair."""
+        order = np.lexsort((-self.ratings, self.items, self.users))
+        users, items, ratings = self.users[order], self.items[order], self.ratings[order]
+        pair_key = users * self.num_items + items
+        _, first = np.unique(pair_key, return_index=True)
+        return RatingTable(users[first], items[first], ratings[first], self.num_users, self.num_items)
+
+
+@dataclass
+class DatasetStats:
+    """Summary statistics reported in the paper's Table II."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_interactions: int
+    density: float
+
+    def as_row(self) -> dict[str, float | int | str]:
+        return {
+            "Dataset": self.name,
+            "Users": self.num_users,
+            "Items": self.num_items,
+            "Interactions": self.num_interactions,
+            "Density": self.density,
+        }
+
+
+@dataclass
+class InteractionDataset:
+    """Implicit-feedback dataset with train/validation/test splits.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name (e.g. ``"amazon-book"``).
+    num_users, num_items:
+        Entity counts after preprocessing.
+    train / valid / test:
+        ``(n, 2)`` integer arrays of (user, item) pairs.
+    metadata:
+        Free-form extra information; the synthetic generators store the
+        ground-truth latent semantic factors here so the LLM simulator and the
+        analysis modules can access them.
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    train: np.ndarray
+    valid: np.ndarray
+    test: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for split_name in ("train", "valid", "test"):
+            split = np.asarray(getattr(self, split_name), dtype=np.int64)
+            if split.size == 0:
+                split = split.reshape(0, 2)
+            if split.ndim != 2 or split.shape[1] != 2:
+                raise ValueError(f"{split_name} split must be an (n, 2) array")
+            setattr(self, split_name, split)
+        self._train_matrix: sp.csr_matrix | None = None
+        self._user_positives: dict[int, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Derived structures (cached)
+    # ------------------------------------------------------------------ #
+    @property
+    def train_matrix(self) -> sp.csr_matrix:
+        """Binary user-item training matrix in CSR format."""
+        if self._train_matrix is None:
+            data = np.ones(len(self.train))
+            self._train_matrix = sp.csr_matrix(
+                (data, (self.train[:, 0], self.train[:, 1])),
+                shape=(self.num_users, self.num_items),
+            )
+            self._train_matrix.data[:] = 1.0
+        return self._train_matrix
+
+    def user_positives(self, split: str = "train") -> dict[int, np.ndarray]:
+        """Map each user id to the sorted array of items they interacted with."""
+        pairs = getattr(self, split)
+        result: dict[int, np.ndarray] = {}
+        if len(pairs) == 0:
+            return result
+        order = np.argsort(pairs[:, 0], kind="stable")
+        sorted_pairs = pairs[order]
+        users, starts = np.unique(sorted_pairs[:, 0], return_index=True)
+        boundaries = np.append(starts[1:], len(sorted_pairs))
+        for user, start, stop in zip(users, starts, boundaries):
+            result[int(user)] = np.unique(sorted_pairs[start:stop, 1])
+        return result
+
+    @property
+    def train_positives(self) -> dict[int, np.ndarray]:
+        if self._user_positives is None:
+            self._user_positives = self.user_positives("train")
+        return self._user_positives
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_interactions(self) -> int:
+        return len(self.train) + len(self.valid) + len(self.test)
+
+    @property
+    def density(self) -> float:
+        return self.num_interactions / float(self.num_users * self.num_items)
+
+    def stats(self) -> DatasetStats:
+        return DatasetStats(
+            name=self.name,
+            num_users=self.num_users,
+            num_items=self.num_items,
+            num_interactions=self.num_interactions,
+            density=self.density,
+        )
+
+    def users_in_split(self, split: str) -> np.ndarray:
+        pairs = getattr(self, split)
+        return np.unique(pairs[:, 0]) if len(pairs) else np.empty(0, dtype=np.int64)

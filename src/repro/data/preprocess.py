@@ -1,0 +1,106 @@
+"""Preprocessing pipeline: rating filtering and the paper's sparse 3:1:1 split."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .interactions import InteractionDataset, RatingTable
+
+__all__ = ["sparse_split", "build_dataset", "core_filter"]
+
+
+def core_filter(table: RatingTable, min_user_degree: int = 3, min_item_degree: int = 3) -> RatingTable:
+    """Iteratively drop users/items with too few interactions (k-core style).
+
+    The public benchmark datasets are released already k-core filtered; the
+    synthetic generators call this to obtain comparable degree distributions.
+    """
+    users, items, ratings = table.users, table.items, table.ratings
+    while True:
+        user_counts = np.bincount(users, minlength=table.num_users)
+        item_counts = np.bincount(items, minlength=table.num_items)
+        keep = (user_counts[users] >= min_user_degree) & (item_counts[items] >= min_item_degree)
+        if keep.all() or not keep.any():
+            users, items, ratings = users[keep], items[keep], ratings[keep]
+            break
+        users, items, ratings = users[keep], items[keep], ratings[keep]
+    return RatingTable(users, items, ratings, table.num_users, table.num_items)
+
+
+def _reindex(values: np.ndarray) -> tuple[np.ndarray, int]:
+    unique, inverse = np.unique(values, return_inverse=True)
+    return inverse, len(unique)
+
+
+def sparse_split(
+    table: RatingTable,
+    ratios: tuple[float, float, float] = (3.0, 1.0, 1.0),
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split interactions per user with the paper's 3:1:1 ratio.
+
+    Every user's interactions are shuffled and partitioned so that roughly 60%
+    land in train, 20% in validation and 20% in test.  Users with fewer than
+    three interactions keep everything in train so that cold users do not end
+    up test-only.
+    """
+    total = float(sum(ratios))
+    train_frac = ratios[0] / total
+    valid_frac = ratios[1] / total
+    rng = np.random.default_rng(seed)
+    pairs = np.stack([table.users, table.items], axis=1)
+    order = np.argsort(table.users, kind="stable")
+    pairs = pairs[order]
+
+    train_parts: list[np.ndarray] = []
+    valid_parts: list[np.ndarray] = []
+    test_parts: list[np.ndarray] = []
+    unique_users, starts = np.unique(pairs[:, 0], return_index=True)
+    boundaries = np.append(starts[1:], len(pairs))
+    for start, stop in zip(starts, boundaries):
+        user_pairs = pairs[start:stop]
+        count = len(user_pairs)
+        shuffled = user_pairs[rng.permutation(count)]
+        if count < 3:
+            train_parts.append(shuffled)
+            continue
+        n_train = max(1, int(round(count * train_frac)))
+        n_valid = max(1, int(round(count * valid_frac)))
+        if n_train + n_valid >= count:
+            n_train = max(1, count - 2)
+            n_valid = 1
+        train_parts.append(shuffled[:n_train])
+        valid_parts.append(shuffled[n_train : n_train + n_valid])
+        test_parts.append(shuffled[n_train + n_valid :])
+
+    def _stack(parts: list[np.ndarray]) -> np.ndarray:
+        return np.concatenate(parts, axis=0) if parts else np.empty((0, 2), dtype=np.int64)
+
+    return _stack(train_parts), _stack(valid_parts), _stack(test_parts)
+
+
+def build_dataset(
+    table: RatingTable,
+    name: str,
+    min_rating: float = 3.0,
+    ratios: tuple[float, float, float] = (3.0, 1.0, 1.0),
+    seed: int = 0,
+    metadata: dict | None = None,
+) -> InteractionDataset:
+    """Full preprocessing pipeline used by every experiment.
+
+    1. Drop interactions with rating below ``min_rating`` (paper Section V-A).
+    2. Deduplicate user-item pairs.
+    3. Sparse 3:1:1 split per user.
+    """
+    filtered = table.filter_min_rating(min_rating).deduplicate()
+    train, valid, test = sparse_split(filtered, ratios=ratios, seed=seed)
+    return InteractionDataset(
+        name=name,
+        num_users=table.num_users,
+        num_items=table.num_items,
+        train=train,
+        valid=valid,
+        test=test,
+        metadata=dict(metadata or {}),
+    )

@@ -1,0 +1,76 @@
+"""Templated natural-language user/item profiles.
+
+RLMRec (and therefore DaRec) feeds GPT-3.5 a system prompt plus a user/item
+profile to obtain text that is then embedded with text-embedding-ada-002.  The
+profile *text* itself is reproduced here from the ground-truth topics of the
+synthetic generator; the embedding step is handled by
+:mod:`repro.llm.encoder`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .interactions import InteractionDataset
+
+__all__ = ["TOPIC_VOCABULARY", "build_item_profiles", "build_user_profiles", "build_profiles"]
+
+TOPIC_VOCABULARY = [
+    "mystery novels",
+    "science fiction",
+    "historical biographies",
+    "vegan restaurants",
+    "craft breweries",
+    "indie role-playing games",
+    "competitive strategy games",
+    "cozy cafes",
+    "classic literature",
+    "open-world adventures",
+    "live music venues",
+    "graphic novels",
+    "self-improvement books",
+    "family-friendly diners",
+    "simulation games",
+    "poetry collections",
+]
+
+
+def _topic_phrase(topic: int) -> str:
+    return TOPIC_VOCABULARY[topic % len(TOPIC_VOCABULARY)]
+
+
+def build_item_profiles(dataset: InteractionDataset) -> list[str]:
+    """One descriptive sentence per item, derived from its latent topic."""
+    clusters = dataset.metadata.get("item_clusters")
+    if clusters is None:
+        raise KeyError("dataset metadata lacks 'item_clusters'; was it built by the synthetic generator?")
+    profiles = []
+    for item_id, topic in enumerate(np.asarray(clusters)):
+        phrase = _topic_phrase(int(topic))
+        profiles.append(
+            f"Item {item_id}: a well-reviewed entry in the {phrase} category, "
+            f"appreciated by enthusiasts of {phrase}."
+        )
+    return profiles
+
+
+def build_user_profiles(dataset: InteractionDataset) -> list[str]:
+    """One preference summary per user, combining their topic and history size."""
+    clusters = dataset.metadata.get("user_clusters")
+    if clusters is None:
+        raise KeyError("dataset metadata lacks 'user_clusters'; was it built by the synthetic generator?")
+    history = dataset.train_positives
+    profiles = []
+    for user_id, topic in enumerate(np.asarray(clusters)):
+        phrase = _topic_phrase(int(topic))
+        count = len(history.get(int(user_id), ()))
+        profiles.append(
+            f"User {user_id}: frequently engages with {phrase} "
+            f"({count} recorded interactions) and values recommendations in that area."
+        )
+    return profiles
+
+
+def build_profiles(dataset: InteractionDataset) -> tuple[list[str], list[str]]:
+    """Return ``(user_profiles, item_profiles)`` for the whole dataset."""
+    return build_user_profiles(dataset), build_item_profiles(dataset)

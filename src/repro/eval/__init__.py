@@ -1,0 +1,28 @@
+"""Evaluation: ranking metrics, all-ranking protocol, significance tests."""
+
+from .metrics import (
+    recall_at_k,
+    precision_at_k,
+    ndcg_at_k,
+    hit_rate_at_k,
+    mrr_at_k,
+    rank_metrics,
+)
+from .protocol import EvaluationResult, RankingEvaluator, evaluate_scores
+from .significance import SignificanceResult, paired_t_test, permutation_test, compare_results
+
+__all__ = [
+    "recall_at_k",
+    "precision_at_k",
+    "ndcg_at_k",
+    "hit_rate_at_k",
+    "mrr_at_k",
+    "rank_metrics",
+    "EvaluationResult",
+    "RankingEvaluator",
+    "evaluate_scores",
+    "SignificanceResult",
+    "paired_t_test",
+    "permutation_test",
+    "compare_results",
+]

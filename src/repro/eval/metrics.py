@@ -1,0 +1,85 @@
+"""Ranking metrics: Recall@K, NDCG@K and friends.
+
+All metrics follow the all-ranking protocol of the paper: for every test user
+the model ranks *every* item the user has not interacted with in training, and
+the top-K list is compared against the held-out positives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "recall_at_k",
+    "precision_at_k",
+    "ndcg_at_k",
+    "hit_rate_at_k",
+    "mrr_at_k",
+    "rank_metrics",
+]
+
+
+def _validate(recommended: np.ndarray, relevant: np.ndarray, k: int) -> tuple[np.ndarray, set]:
+    if k <= 0:
+        raise ValueError("k must be positive")
+    recommended = np.asarray(recommended)[:k]
+    return recommended, set(np.asarray(relevant).tolist())
+
+
+def recall_at_k(recommended: np.ndarray, relevant: np.ndarray, k: int) -> float:
+    """Fraction of the relevant items that appear in the top-K list."""
+    top_k, relevant_set = _validate(recommended, relevant, k)
+    if not relevant_set:
+        return 0.0
+    hits = sum(1 for item in top_k if item in relevant_set)
+    return hits / len(relevant_set)
+
+
+def precision_at_k(recommended: np.ndarray, relevant: np.ndarray, k: int) -> float:
+    """Fraction of the top-K list that is relevant."""
+    top_k, relevant_set = _validate(recommended, relevant, k)
+    if not relevant_set:
+        return 0.0
+    hits = sum(1 for item in top_k if item in relevant_set)
+    return hits / k
+
+
+def hit_rate_at_k(recommended: np.ndarray, relevant: np.ndarray, k: int) -> float:
+    """1.0 if at least one relevant item is in the top-K list."""
+    top_k, relevant_set = _validate(recommended, relevant, k)
+    return 1.0 if any(item in relevant_set for item in top_k) else 0.0
+
+
+def mrr_at_k(recommended: np.ndarray, relevant: np.ndarray, k: int) -> float:
+    """Reciprocal rank of the first relevant item within the top-K list."""
+    top_k, relevant_set = _validate(recommended, relevant, k)
+    for position, item in enumerate(top_k, start=1):
+        if item in relevant_set:
+            return 1.0 / position
+    return 0.0
+
+
+def ndcg_at_k(recommended: np.ndarray, relevant: np.ndarray, k: int) -> float:
+    """Normalised discounted cumulative gain with binary relevance."""
+    top_k, relevant_set = _validate(recommended, relevant, k)
+    if not relevant_set:
+        return 0.0
+    gains = np.array([1.0 if item in relevant_set else 0.0 for item in top_k])
+    discounts = 1.0 / np.log2(np.arange(2, len(gains) + 2))
+    dcg = float(np.sum(gains * discounts))
+    ideal_hits = min(len(relevant_set), k)
+    ideal_discounts = 1.0 / np.log2(np.arange(2, ideal_hits + 2))
+    idcg = float(np.sum(ideal_discounts))
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+def rank_metrics(recommended: np.ndarray, relevant: np.ndarray, ks: tuple[int, ...]) -> dict[str, float]:
+    """All supported metrics for one user at several cut-offs."""
+    result: dict[str, float] = {}
+    for k in ks:
+        result[f"recall@{k}"] = recall_at_k(recommended, relevant, k)
+        result[f"ndcg@{k}"] = ndcg_at_k(recommended, relevant, k)
+        result[f"precision@{k}"] = precision_at_k(recommended, relevant, k)
+        result[f"hit@{k}"] = hit_rate_at_k(recommended, relevant, k)
+        result[f"mrr@{k}"] = mrr_at_k(recommended, relevant, k)
+    return result

@@ -1,0 +1,85 @@
+"""All-ranking evaluation protocol (paper Section V-A, "Evaluation Metrics")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.interactions import InteractionDataset
+from .metrics import ndcg_at_k, recall_at_k
+
+__all__ = ["EvaluationResult", "RankingEvaluator", "evaluate_scores"]
+
+
+@dataclass
+class EvaluationResult:
+    """Mean metrics over all evaluated users plus the per-user raw values."""
+
+    metrics: dict[str, float]
+    per_user: dict[str, np.ndarray] = field(default_factory=dict)
+    num_users: int = 0
+
+    def __getitem__(self, key: str) -> float:
+        return self.metrics[key]
+
+    def as_row(self, prefix: str = "") -> dict[str, float]:
+        return {f"{prefix}{key}": value for key, value in self.metrics.items()}
+
+
+def evaluate_scores(
+    scores: np.ndarray,
+    dataset: InteractionDataset,
+    split: str = "test",
+    ks: tuple[int, ...] = (5, 10, 20),
+    mask_train: bool = True,
+) -> EvaluationResult:
+    """Evaluate a dense score matrix under the all-ranking protocol.
+
+    Training items of each user are masked to ``-inf`` so they can never be
+    recommended, matching the standard protocol of the compared methods.
+    """
+    if scores.shape != (dataset.num_users, dataset.num_items):
+        raise ValueError(
+            f"score matrix shape {scores.shape} does not match dataset "
+            f"({dataset.num_users}, {dataset.num_items})"
+        )
+    positives = dataset.user_positives(split)
+    if not positives:
+        raise ValueError(f"split '{split}' has no interactions to evaluate")
+    train_positives = dataset.train_positives
+    max_k = max(ks)
+
+    per_user: dict[str, list[float]] = {f"recall@{k}": [] for k in ks}
+    per_user.update({f"ndcg@{k}": [] for k in ks})
+
+    for user, relevant in positives.items():
+        user_scores = scores[user].copy()
+        if mask_train:
+            seen = train_positives.get(user)
+            if seen is not None and len(seen):
+                user_scores[seen] = -np.inf
+        top_k = np.argpartition(-user_scores, min(max_k, len(user_scores) - 1))[:max_k]
+        top_k = top_k[np.argsort(-user_scores[top_k])]
+        for k in ks:
+            per_user[f"recall@{k}"].append(recall_at_k(top_k, relevant, k))
+            per_user[f"ndcg@{k}"].append(ndcg_at_k(top_k, relevant, k))
+
+    metrics = {key: float(np.mean(values)) for key, values in per_user.items()}
+    arrays = {key: np.asarray(values) for key, values in per_user.items()}
+    return EvaluationResult(metrics=metrics, per_user=arrays, num_users=len(positives))
+
+
+class RankingEvaluator:
+    """Convenience wrapper binding a dataset and cut-off list."""
+
+    def __init__(self, dataset: InteractionDataset, ks: tuple[int, ...] = (5, 10, 20)) -> None:
+        if not ks:
+            raise ValueError("at least one cut-off K is required")
+        self.dataset = dataset
+        self.ks = tuple(sorted(set(int(k) for k in ks)))
+
+    def evaluate(self, model, split: str = "test") -> EvaluationResult:
+        """Evaluate any object exposing ``score_all()``."""
+        scores = model.score_all()
+        return evaluate_scores(scores, self.dataset, split=split, ks=self.ks)

@@ -1,0 +1,85 @@
+"""Statistical significance testing for per-user metric comparisons.
+
+The paper marks improvements with † when a paired test yields p < 0.05; this
+module provides the paired t-test (via scipy) and a permutation-test fallback
+for tiny samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["SignificanceResult", "paired_t_test", "permutation_test", "compare_results"]
+
+
+@dataclass
+class SignificanceResult:
+    statistic: float
+    p_value: float
+    mean_difference: float
+    significant: bool
+
+    @property
+    def improved(self) -> bool:
+        return self.significant and self.mean_difference > 0
+
+
+def paired_t_test(treatment: np.ndarray, control: np.ndarray, alpha: float = 0.05) -> SignificanceResult:
+    """Two-sided paired t-test on per-user metric values."""
+    treatment = np.asarray(treatment, dtype=np.float64)
+    control = np.asarray(control, dtype=np.float64)
+    if treatment.shape != control.shape:
+        raise ValueError("paired samples must have identical shapes")
+    if len(treatment) < 2:
+        raise ValueError("need at least two paired observations")
+    difference = treatment - control
+    if np.allclose(difference, 0.0):
+        return SignificanceResult(statistic=0.0, p_value=1.0, mean_difference=0.0, significant=False)
+    statistic, p_value = stats.ttest_rel(treatment, control)
+    return SignificanceResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        mean_difference=float(difference.mean()),
+        significant=bool(p_value < alpha),
+    )
+
+
+def permutation_test(
+    treatment: np.ndarray,
+    control: np.ndarray,
+    num_permutations: int = 2000,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> SignificanceResult:
+    """Sign-flip permutation test on the paired differences."""
+    treatment = np.asarray(treatment, dtype=np.float64)
+    control = np.asarray(control, dtype=np.float64)
+    if treatment.shape != control.shape:
+        raise ValueError("paired samples must have identical shapes")
+    difference = treatment - control
+    observed = abs(difference.mean())
+    rng = np.random.default_rng(seed)
+    signs = rng.choice([-1.0, 1.0], size=(num_permutations, len(difference)))
+    permuted = np.abs((signs * difference).mean(axis=1))
+    p_value = float((np.sum(permuted >= observed) + 1) / (num_permutations + 1))
+    return SignificanceResult(
+        statistic=float(observed),
+        p_value=p_value,
+        mean_difference=float(difference.mean()),
+        significant=bool(p_value < alpha),
+    )
+
+
+def compare_results(
+    treatment_per_user: dict[str, np.ndarray],
+    control_per_user: dict[str, np.ndarray],
+    metric: str,
+    alpha: float = 0.05,
+) -> SignificanceResult:
+    """Significance of ``treatment`` over ``control`` on one metric."""
+    if metric not in treatment_per_user or metric not in control_per_user:
+        raise KeyError(f"metric '{metric}' missing from per-user results")
+    return paired_t_test(treatment_per_user[metric], control_per_user[metric], alpha=alpha)

@@ -1,0 +1,66 @@
+"""Experiment harness: one runner per paper table/figure plus shared plumbing."""
+
+from .common import (
+    ExperimentScale,
+    VARIANTS,
+    build_dataset_and_semantics,
+    build_variant,
+    make_backbone,
+    train_and_evaluate,
+    run_single,
+)
+from .reporting import format_table, print_table, relative_improvement, metric_columns
+from .registry import Experiment, EXPERIMENTS, get_experiment, list_experiments
+from .table2_datasets import run_table2, format_table2
+from .table3 import run_table3, format_table3
+from .table4 import run_table4, format_table4
+from .fig3_ablation import run_fig3_ablation, format_fig3, ABLATION_SETTINGS
+from .fig4_k import run_fig4_k, format_fig4, DEFAULT_K_VALUES
+from .fig5_lambda import run_fig5_lambda, format_fig5, DEFAULT_LAMBDAS
+from .fig6_tsne import run_fig6_tsne, format_fig6, cluster_quality
+from .fig7_sampling import run_fig7_sampling, format_fig7, DEFAULT_SAMPLE_SIZES
+from .fig8_case_study import run_fig8_case_study, format_fig8
+from .theorem_checks import run_theorem_checks, format_theorem_checks
+
+__all__ = [
+    "ExperimentScale",
+    "VARIANTS",
+    "build_dataset_and_semantics",
+    "build_variant",
+    "make_backbone",
+    "train_and_evaluate",
+    "run_single",
+    "format_table",
+    "print_table",
+    "relative_improvement",
+    "metric_columns",
+    "Experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_table2",
+    "format_table2",
+    "run_table3",
+    "format_table3",
+    "run_table4",
+    "format_table4",
+    "run_fig3_ablation",
+    "format_fig3",
+    "ABLATION_SETTINGS",
+    "run_fig4_k",
+    "format_fig4",
+    "DEFAULT_K_VALUES",
+    "run_fig5_lambda",
+    "format_fig5",
+    "DEFAULT_LAMBDAS",
+    "run_fig6_tsne",
+    "format_fig6",
+    "cluster_quality",
+    "run_fig7_sampling",
+    "format_fig7",
+    "DEFAULT_SAMPLE_SIZES",
+    "run_fig8_case_study",
+    "format_fig8",
+    "run_theorem_checks",
+    "format_theorem_checks",
+]

@@ -1,0 +1,160 @@
+"""Shared plumbing for the experiment harness.
+
+Every experiment (one per paper table/figure) builds on the same recipe:
+generate a synthetic benchmark, encode it with the simulated LLM, instantiate
+a backbone plus an alignment variant, train jointly and evaluate under the
+all-ranking protocol.  :class:`ExperimentScale` controls how large that recipe
+is so the same code serves both quick benches and fuller runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..align import DaRec, DaRecConfig, KAR, RLMRecContrastive, RLMRecGenerative
+from ..align.base import AlignedRecommender, AlignmentModule
+from ..data.interactions import InteractionDataset
+from ..data.synthetic import load_benchmark
+from ..eval.protocol import EvaluationResult, RankingEvaluator
+from ..llm.encoder import SimulatedLLMEncoder
+from ..llm.provider import SemanticEmbeddings
+from ..models import BACKBONES, create_backbone
+from ..models.base import BaseRecommender, GraphRecommender
+from ..train import Trainer, TrainingConfig
+
+__all__ = [
+    "ExperimentScale",
+    "VARIANTS",
+    "build_dataset_and_semantics",
+    "build_variant",
+    "make_backbone",
+    "train_and_evaluate",
+    "run_single",
+]
+
+#: Alignment variants compared throughout the paper (Table III naming).
+VARIANTS = ("baseline", "rlmrec-con", "rlmrec-gen", "kar", "darec")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs shared by every experiment runner.
+
+    The defaults are deliberately tiny (a few hundred users, two epochs) so the
+    full benchmark harness regenerating every table and figure finishes in
+    minutes on a laptop; pass a larger scale for closer-to-paper runs.
+    """
+
+    dataset_scale: float = 0.35
+    embedding_dim: int = 32
+    num_layers: int = 2
+    llm_dim: int = 64
+    llm_noise: float = 1.0
+    epochs: int = 2
+    batch_size: int = 1024
+    learning_rate: float = 1e-3
+    trade_off: float = 0.1
+    darec_sample_size: int = 128
+    darec_num_centers: int = 4
+    darec_shared_dim: int = 32
+    eval_ks: tuple[int, ...] = (5, 10, 20)
+    seed: int = 0
+
+    def smaller(self, **overrides) -> "ExperimentScale":
+        """Return a copy with selected fields overridden."""
+        return replace(self, **overrides)
+
+
+def build_dataset_and_semantics(
+    dataset_name: str, scale: ExperimentScale
+) -> tuple[InteractionDataset, SemanticEmbeddings]:
+    """Load one synthetic benchmark and its simulated LLM embeddings."""
+    dataset = load_benchmark(dataset_name, scale=scale.dataset_scale, seed=scale.seed)
+    encoder = SimulatedLLMEncoder(
+        embedding_dim=scale.llm_dim, noise_strength=scale.llm_noise, seed=scale.seed + 7
+    )
+    return dataset, encoder.encode(dataset)
+
+
+def _default_darec_config(scale: ExperimentScale, **overrides) -> DaRecConfig:
+    config = DaRecConfig(
+        shared_dim=scale.darec_shared_dim,
+        hidden_dim=scale.darec_shared_dim,
+        num_centers=scale.darec_num_centers,
+        sample_size=scale.darec_sample_size,
+        seed=scale.seed,
+    )
+    if overrides:
+        config = replace(config, **overrides)
+    return config
+
+
+def build_variant(
+    variant: str,
+    backbone: BaseRecommender,
+    semantic: SemanticEmbeddings,
+    scale: ExperimentScale,
+    darec_config: DaRecConfig | None = None,
+) -> AlignmentModule | None:
+    """Instantiate the alignment module named by ``variant`` ('baseline' → None)."""
+    key = variant.lower()
+    if key in {"baseline", "none"}:
+        return None
+    if key == "rlmrec-con":
+        return RLMRecContrastive(backbone, semantic, seed=scale.seed)
+    if key == "rlmrec-gen":
+        return RLMRecGenerative(backbone, semantic, seed=scale.seed)
+    if key == "kar":
+        return KAR(backbone, semantic, seed=scale.seed)
+    if key == "darec":
+        return DaRec(backbone, semantic, config=darec_config or _default_darec_config(scale))
+    raise KeyError(f"unknown variant '{variant}'; choose from {VARIANTS}")
+
+
+def train_and_evaluate(
+    backbone: BaseRecommender,
+    alignment: AlignmentModule | None,
+    dataset: InteractionDataset,
+    scale: ExperimentScale,
+    trade_off: float | None = None,
+    split: str = "test",
+) -> tuple[AlignedRecommender, EvaluationResult]:
+    """Jointly train a (backbone, alignment) pair and evaluate it."""
+    config = TrainingConfig(
+        epochs=scale.epochs,
+        batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate,
+        trade_off=scale.trade_off if trade_off is None else trade_off,
+        eval_ks=scale.eval_ks,
+        seed=scale.seed,
+    )
+    model = AlignedRecommender(backbone, alignment, trade_off=config.trade_off)
+    trainer = Trainer(model, config)
+    trainer.fit()
+    evaluator = RankingEvaluator(dataset, ks=scale.eval_ks)
+    return model, evaluator.evaluate(model, split=split)
+
+
+def run_single(
+    backbone_name: str,
+    variant: str,
+    dataset_name: str,
+    scale: ExperimentScale | None = None,
+    darec_config: DaRecConfig | None = None,
+    trade_off: float | None = None,
+) -> tuple[AlignedRecommender, EvaluationResult]:
+    """End-to-end convenience runner used by the examples and the benches."""
+    scale = scale or ExperimentScale()
+    dataset, semantic = build_dataset_and_semantics(dataset_name, scale)
+    backbone = make_backbone(backbone_name, dataset, scale)
+    alignment = build_variant(variant, backbone, semantic, scale, darec_config=darec_config)
+    return train_and_evaluate(backbone, alignment, dataset, scale, trade_off=trade_off)
+
+
+def make_backbone(backbone_name: str, dataset: InteractionDataset, scale: ExperimentScale) -> BaseRecommender:
+    """Instantiate a backbone with scale-appropriate hyper-parameters."""
+    kwargs: dict = {"embedding_dim": scale.embedding_dim, "seed": scale.seed}
+    key = backbone_name.lower()
+    if key in BACKBONES and issubclass(BACKBONES[key], GraphRecommender):
+        kwargs["num_layers"] = scale.num_layers
+    return create_backbone(backbone_name, dataset, **kwargs)

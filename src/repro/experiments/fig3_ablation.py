@@ -1,0 +1,74 @@
+"""Experiment E4 — Fig. 3: ablation of the four DaRec loss terms.
+
+Removes each of the orthogonal, uniformity, global and local losses in turn
+("(w/o) or / uni / glo / loc" in the paper) and reports Recall@{5,10} and
+NDCG@{5,10} against the full model.
+"""
+
+from __future__ import annotations
+
+from ..align.darec import DaRecConfig
+from .common import (
+    ExperimentScale,
+    build_dataset_and_semantics,
+    build_variant,
+    make_backbone,
+    train_and_evaluate,
+)
+from .reporting import print_table
+
+__all__ = ["run_fig3_ablation", "format_fig3", "ABLATION_SETTINGS"]
+
+#: Paper naming → loss term disabled in :class:`DaRecConfig`.
+ABLATION_SETTINGS = {
+    "full": (),
+    "(w/o) or": ("orthogonal",),
+    "(w/o) uni": ("uniformity",),
+    "(w/o) glo": ("global",),
+    "(w/o) loc": ("local",),
+}
+ABLATION_METRICS = ("recall@5", "recall@10", "ndcg@5", "ndcg@10")
+
+
+def run_fig3_ablation(
+    backbones: tuple[str, ...] = ("lightgcn", "sgl", "simgcl", "dccf"),
+    datasets: tuple[str, ...] = ("amazon-book", "yelp", "steam"),
+    scale: ExperimentScale | None = None,
+    settings: dict[str, tuple[str, ...]] | None = None,
+) -> list[dict]:
+    """One row per (dataset, backbone, ablation setting)."""
+    scale = scale or ExperimentScale()
+    settings = settings or ABLATION_SETTINGS
+    rows: list[dict] = []
+    for dataset_name in datasets:
+        dataset, semantic = build_dataset_and_semantics(dataset_name, scale)
+        for backbone_name in backbones:
+            for setting_name, removed_terms in settings.items():
+                base_config = DaRecConfig(
+                    shared_dim=scale.darec_shared_dim,
+                    hidden_dim=scale.darec_shared_dim,
+                    num_centers=scale.darec_num_centers,
+                    sample_size=scale.darec_sample_size,
+                    seed=scale.seed,
+                )
+                config = base_config.without(*removed_terms) if removed_terms else base_config
+                backbone = make_backbone(backbone_name, dataset, scale)
+                alignment = build_variant("darec", backbone, semantic, scale, darec_config=config)
+                _, result = train_and_evaluate(backbone, alignment, dataset, scale)
+                rows.append(
+                    {
+                        "dataset": dataset_name,
+                        "backbone": backbone_name,
+                        "setting": setting_name,
+                        **{metric: result.metrics[metric] for metric in ABLATION_METRICS},
+                    }
+                )
+    return rows
+
+
+def format_fig3(rows: list[dict]) -> None:
+    print_table(
+        rows,
+        columns=["dataset", "backbone", "setting", *ABLATION_METRICS],
+        title="Fig. 3 — Ablation of DaRec loss terms",
+    )

@@ -1,0 +1,60 @@
+"""Experiment E5 — Fig. 4: sensitivity to the number of preference centres K."""
+
+from __future__ import annotations
+
+from ..align.darec import DaRecConfig
+from .common import (
+    ExperimentScale,
+    build_dataset_and_semantics,
+    build_variant,
+    make_backbone,
+    train_and_evaluate,
+)
+from .reporting import print_table
+
+__all__ = ["run_fig4_k", "format_fig4", "DEFAULT_K_VALUES"]
+
+DEFAULT_K_VALUES = (2, 4, 5, 8, 10, 100)
+K_METRICS = ("recall@5", "recall@10", "ndcg@5", "ndcg@10")
+
+
+def run_fig4_k(
+    backbones: tuple[str, ...] = ("lightgcn", "sgl", "simgcl", "dccf"),
+    datasets: tuple[str, ...] = ("amazon-book", "yelp", "steam"),
+    k_values: tuple[int, ...] = DEFAULT_K_VALUES,
+    scale: ExperimentScale | None = None,
+) -> list[dict]:
+    """Sweep K for DaRec on every (dataset, backbone) pair."""
+    scale = scale or ExperimentScale()
+    rows: list[dict] = []
+    for dataset_name in datasets:
+        dataset, semantic = build_dataset_and_semantics(dataset_name, scale)
+        for backbone_name in backbones:
+            for k in k_values:
+                config = DaRecConfig(
+                    shared_dim=scale.darec_shared_dim,
+                    hidden_dim=scale.darec_shared_dim,
+                    num_centers=int(k),
+                    sample_size=scale.darec_sample_size,
+                    seed=scale.seed,
+                )
+                backbone = make_backbone(backbone_name, dataset, scale)
+                alignment = build_variant("darec", backbone, semantic, scale, darec_config=config)
+                _, result = train_and_evaluate(backbone, alignment, dataset, scale)
+                rows.append(
+                    {
+                        "dataset": dataset_name,
+                        "backbone": backbone_name,
+                        "K": int(k),
+                        **{metric: result.metrics[metric] for metric in K_METRICS},
+                    }
+                )
+    return rows
+
+
+def format_fig4(rows: list[dict]) -> None:
+    print_table(
+        rows,
+        columns=["dataset", "backbone", "K", *K_METRICS],
+        title="Fig. 4 — Sensitivity to the number of preference centres K",
+    )

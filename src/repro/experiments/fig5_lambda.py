@@ -1,0 +1,54 @@
+"""Experiment E6 — Fig. 5: sensitivity to the trade-off parameter λ."""
+
+from __future__ import annotations
+
+from .common import (
+    ExperimentScale,
+    build_dataset_and_semantics,
+    build_variant,
+    make_backbone,
+    train_and_evaluate,
+)
+from .reporting import print_table
+
+__all__ = ["run_fig5_lambda", "format_fig5", "DEFAULT_LAMBDAS"]
+
+DEFAULT_LAMBDAS = (0.01, 0.1, 0.5, 1.0, 10.0, 100.0)
+LAMBDA_METRICS = ("recall@5", "recall@10", "ndcg@5", "ndcg@10")
+
+
+def run_fig5_lambda(
+    backbones: tuple[str, ...] = ("sgl", "simgcl", "dccf"),
+    datasets: tuple[str, ...] = ("amazon-book", "yelp", "steam"),
+    lambdas: tuple[float, ...] = DEFAULT_LAMBDAS,
+    scale: ExperimentScale | None = None,
+) -> list[dict]:
+    """Sweep the trade-off weight λ of Eq. (11) for DaRec."""
+    scale = scale or ExperimentScale()
+    rows: list[dict] = []
+    for dataset_name in datasets:
+        dataset, semantic = build_dataset_and_semantics(dataset_name, scale)
+        for backbone_name in backbones:
+            for trade_off in lambdas:
+                backbone = make_backbone(backbone_name, dataset, scale)
+                alignment = build_variant("darec", backbone, semantic, scale)
+                _, result = train_and_evaluate(
+                    backbone, alignment, dataset, scale, trade_off=float(trade_off)
+                )
+                rows.append(
+                    {
+                        "dataset": dataset_name,
+                        "backbone": backbone_name,
+                        "lambda": float(trade_off),
+                        **{metric: result.metrics[metric] for metric in LAMBDA_METRICS},
+                    }
+                )
+    return rows
+
+
+def format_fig5(rows: list[dict]) -> None:
+    print_table(
+        rows,
+        columns=["dataset", "backbone", "lambda", *LAMBDA_METRICS],
+        title="Fig. 5 — Sensitivity to the trade-off parameter λ",
+    )

@@ -1,0 +1,54 @@
+"""Registry mapping paper artefacts (tables/figures) to experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .fig3_ablation import run_fig3_ablation
+from .fig4_k import run_fig4_k
+from .fig5_lambda import run_fig5_lambda
+from .fig6_tsne import run_fig6_tsne
+from .fig7_sampling import run_fig7_sampling
+from .fig8_case_study import run_fig8_case_study
+from .table2_datasets import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .theorem_checks import run_theorem_checks
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Descriptor of a reproducible experiment."""
+
+    identifier: str
+    artefact: str
+    description: str
+    runner: Callable[..., list[dict]]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "table2": Experiment("table2", "Table II", "Dataset summary statistics", run_table2),
+    "table3": Experiment("table3", "Table III", "Main comparison across backbones/datasets", run_table3),
+    "table4": Experiment("table4", "Table IV", "Comparison against LLM-enhanced methods", run_table4),
+    "fig3": Experiment("fig3", "Fig. 3", "Ablation of the four DaRec loss terms", run_fig3_ablation),
+    "fig4": Experiment("fig4", "Fig. 4", "Sensitivity to the number of preference centres K", run_fig4_k),
+    "fig5": Experiment("fig5", "Fig. 5", "Sensitivity to the trade-off parameter lambda", run_fig5_lambda),
+    "fig6": Experiment("fig6", "Fig. 6", "t-SNE structure of the shared representations", run_fig6_tsne),
+    "fig7": Experiment("fig7", "Fig. 7", "Sensitivity to the sampling size N-hat", run_fig7_sampling),
+    "fig8": Experiment("fig8", "Fig. 8", "Case study on long-distance user dependencies", run_fig8_case_study),
+    "theorems": Experiment("theorems", "Theorems 1-2", "Empirical information-theoretic checks", run_theorem_checks),
+}
+
+
+def get_experiment(identifier: str) -> Experiment:
+    key = identifier.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment '{identifier}'; choose from {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key]
+
+
+def list_experiments() -> list[str]:
+    return sorted(EXPERIMENTS)

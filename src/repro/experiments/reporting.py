@@ -1,0 +1,50 @@
+"""Tabular reporting helpers shared by the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "relative_improvement", "metric_columns", "print_table"]
+
+
+def metric_columns(ks: Sequence[int] = (5, 10, 20)) -> list[str]:
+    """The six metric columns of the paper's Table III (R@K and N@K)."""
+    return [f"recall@{k}" for k in ks] + [f"ndcg@{k}" for k in ks]
+
+
+def relative_improvement(new: float, old: float) -> float:
+    """Percentage improvement of ``new`` over ``old`` (paper's "Improvement" row)."""
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - old) / abs(old) * 100.0
+
+
+def format_table(rows: Iterable[dict], columns: Sequence[str] | None = None, precision: int = 4) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def _format(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    rendered = [[_format(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join("  ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in rendered)
+    return f"{header}\n{separator}\n{body}"
+
+
+def print_table(rows: Iterable[dict], columns: Sequence[str] | None = None, title: str | None = None) -> None:
+    """Print a formatted table with an optional title (used by bench harnesses)."""
+    if title:
+        print(f"\n=== {title} ===")
+    print(format_table(rows, columns))

@@ -1,0 +1,24 @@
+"""Experiment E1 — Table II: dataset summary statistics."""
+
+from __future__ import annotations
+
+from ..data.synthetic import BENCHMARKS, load_benchmark
+from .common import ExperimentScale
+from .reporting import print_table
+
+__all__ = ["run_table2", "format_table2"]
+
+
+def run_table2(scale: ExperimentScale | None = None, datasets: tuple[str, ...] | None = None) -> list[dict]:
+    """Regenerate the dataset summary rows (Users / Items / Interactions / Density)."""
+    scale = scale or ExperimentScale()
+    names = datasets or tuple(sorted(BENCHMARKS))
+    rows = []
+    for name in names:
+        dataset = load_benchmark(name, scale=scale.dataset_scale, seed=scale.seed)
+        rows.append(dataset.stats().as_row())
+    return rows
+
+
+def format_table2(rows: list[dict]) -> None:
+    print_table(rows, title="Table II — Dataset summary (synthetic, scaled)")

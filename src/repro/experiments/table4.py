@@ -1,0 +1,54 @@
+"""Experiment E3 — Table IV: comparison against LLM-enhanced methods (incl. KAR)."""
+
+from __future__ import annotations
+
+from .common import (
+    ExperimentScale,
+    build_dataset_and_semantics,
+    build_variant,
+    make_backbone,
+    train_and_evaluate,
+)
+from .reporting import print_table
+
+__all__ = ["run_table4", "format_table4"]
+
+TABLE4_BACKBONES = ("lightgcn", "sgl")
+TABLE4_DATASETS = ("amazon-book", "yelp")
+TABLE4_VARIANTS = ("baseline", "rlmrec-con", "rlmrec-gen", "kar", "darec")
+TABLE4_METRICS = ("recall@20", "ndcg@20")
+
+
+def run_table4(
+    backbones: tuple[str, ...] = TABLE4_BACKBONES,
+    datasets: tuple[str, ...] = TABLE4_DATASETS,
+    scale: ExperimentScale | None = None,
+    variants: tuple[str, ...] = TABLE4_VARIANTS,
+) -> list[dict]:
+    """R@20 / N@20 rows for the LLM-enhanced comparison of Table IV."""
+    scale = scale or ExperimentScale()
+    rows: list[dict] = []
+    for dataset_name in datasets:
+        dataset, semantic = build_dataset_and_semantics(dataset_name, scale)
+        for backbone_name in backbones:
+            for variant in variants:
+                backbone = make_backbone(backbone_name, dataset, scale)
+                alignment = build_variant(variant, backbone, semantic, scale)
+                _, result = train_and_evaluate(backbone, alignment, dataset, scale)
+                rows.append(
+                    {
+                        "dataset": dataset_name,
+                        "backbone": backbone_name,
+                        "variant": variant,
+                        **{metric: result.metrics[metric] for metric in TABLE4_METRICS},
+                    }
+                )
+    return rows
+
+
+def format_table4(rows: list[dict]) -> None:
+    print_table(
+        rows,
+        columns=["dataset", "backbone", "variant", *TABLE4_METRICS],
+        title="Table IV — LLM-enhanced methods (R@20 / N@20)",
+    )

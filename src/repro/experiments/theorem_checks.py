@@ -1,0 +1,94 @@
+"""Experiment E10 — empirical checks of Theorems 1 and 2.
+
+Theorem 1 states that exactly aligning ``E_C`` and ``E_L`` costs at least the
+information gap Δp on the downstream task.  Theorem 2 states that DaRec's
+concatenated shared+specific representation retains more task-relevant and less
+task-irrelevant information than an exactly-aligned representation.  Both are
+checked empirically with the discrete MI / conditional-entropy estimators of
+:mod:`repro.analysis.info_theory`, using the ground-truth user/item topics of
+the synthetic generator as the downstream target ``Y``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.info_theory import (
+    representation_conditional_entropy,
+    representation_mutual_information,
+)
+from ..nn import no_grad
+from .common import (
+    ExperimentScale,
+    build_dataset_and_semantics,
+    build_variant,
+    make_backbone,
+    train_and_evaluate,
+)
+from .reporting import print_table
+
+__all__ = ["run_theorem_checks", "format_theorem_checks"]
+
+
+def run_theorem_checks(
+    backbone_name: str = "lightgcn",
+    dataset_name: str = "amazon-book",
+    scale: ExperimentScale | None = None,
+    num_codewords: int = 12,
+) -> list[dict]:
+    """Compare I(E; Y) and H(E | Y) for exactly-aligned vs disentangled representations."""
+    scale = scale or ExperimentScale()
+    dataset, semantic = build_dataset_and_semantics(dataset_name, scale)
+    user_topics = np.asarray(dataset.metadata["user_clusters"])
+    item_topics = np.asarray(dataset.metadata["item_clusters"])
+    joint_topics = np.concatenate([user_topics, item_topics])
+
+    rows: list[dict] = []
+
+    # Exact alignment (RLMRec-Con style): the collaborative representation is
+    # pulled directly onto the LLM embedding space.
+    backbone = make_backbone(backbone_name, dataset, scale)
+    aligned_module = build_variant("rlmrec-con", backbone, semantic, scale)
+    aligned_model, _ = train_and_evaluate(backbone, aligned_module, dataset, scale)
+    with no_grad():
+        aligned_rep = aligned_model.representations().data.copy()
+    rows.append(
+        {
+            "representation": "exact-alignment (RLMRec-Con)",
+            "mutual_information": representation_mutual_information(
+                aligned_rep, joint_topics, num_codewords=num_codewords
+            ),
+            "conditional_entropy": representation_conditional_entropy(
+                aligned_rep, joint_topics, num_codewords=num_codewords
+            ),
+        }
+    )
+
+    # DaRec: shared ⊕ specific concatenation (the paper's Ê).
+    backbone = make_backbone(backbone_name, dataset, scale)
+    darec_module = build_variant("darec", backbone, semantic, scale)
+    train_and_evaluate(backbone, darec_module, dataset, scale)
+    all_nodes = np.arange(dataset.num_users + dataset.num_items)
+    with no_grad():
+        reps = darec_module.disentangle(nodes=all_nodes)
+        darec_rep = np.concatenate([reps.collab_shared.data, reps.collab_specific.data], axis=1)
+    rows.append(
+        {
+            "representation": "disentangled (DaRec)",
+            "mutual_information": representation_mutual_information(
+                darec_rep, joint_topics, num_codewords=num_codewords
+            ),
+            "conditional_entropy": representation_conditional_entropy(
+                darec_rep, joint_topics, num_codewords=num_codewords
+            ),
+        }
+    )
+    return rows
+
+
+def format_theorem_checks(rows: list[dict]) -> None:
+    print_table(
+        rows,
+        columns=["representation", "mutual_information", "conditional_entropy"],
+        title="Theorems 1 & 2 — empirical information analysis",
+    )

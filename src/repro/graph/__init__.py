@@ -1,0 +1,13 @@
+"""Graph substrate: adjacency normalisation and augmentation views."""
+
+from .adjacency import build_interaction_matrix, build_normalized_adjacency, symmetric_normalize
+from .augment import edge_dropout_view, node_dropout_view, masked_interaction_matrix
+
+__all__ = [
+    "build_interaction_matrix",
+    "build_normalized_adjacency",
+    "symmetric_normalize",
+    "edge_dropout_view",
+    "node_dropout_view",
+    "masked_interaction_matrix",
+]

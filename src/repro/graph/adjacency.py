@@ -1,0 +1,46 @@
+"""Normalised bipartite adjacency construction for graph CF backbones."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..data.interactions import InteractionDataset
+
+__all__ = ["build_interaction_matrix", "build_normalized_adjacency", "symmetric_normalize"]
+
+
+def build_interaction_matrix(dataset: InteractionDataset) -> sp.csr_matrix:
+    """Binary user × item training interaction matrix."""
+    return dataset.train_matrix
+
+
+def symmetric_normalize(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Return ``D^{-1/2} A D^{-1/2}`` with zero-degree rows left at zero."""
+    adjacency = adjacency.tocsr()
+    degrees = np.asarray(adjacency.sum(axis=1)).flatten()
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
+    scaling = sp.diags(inv_sqrt)
+    return (scaling @ adjacency @ scaling).tocsr()
+
+
+def build_normalized_adjacency(
+    dataset: InteractionDataset,
+    interaction_matrix: sp.spmatrix | None = None,
+    add_self_loops: bool = False,
+) -> sp.csr_matrix:
+    """Symmetric-normalised bipartite adjacency over the joint user+item graph.
+
+    The joint node ordering is users first, then items, matching the
+    concatenated embedding layout used throughout the library.
+    """
+    rating = (interaction_matrix if interaction_matrix is not None else dataset.train_matrix).tocsr()
+    num_users, num_items = rating.shape
+    upper = sp.hstack([sp.csr_matrix((num_users, num_users)), rating])
+    lower = sp.hstack([rating.T, sp.csr_matrix((num_items, num_items))])
+    adjacency = sp.vstack([upper, lower]).tocsr()
+    if add_self_loops:
+        adjacency = adjacency + sp.eye(adjacency.shape[0], format="csr")
+    return symmetric_normalize(adjacency)

@@ -1,0 +1,78 @@
+"""Graph augmentation operators for the self-supervised backbones.
+
+SGL (edge dropout / node dropout / random walk) and AutoCF (masked
+reconstruction) generate perturbed views of the interaction graph; SimGCL
+instead perturbs embeddings directly and needs no graph augmentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..data.interactions import InteractionDataset
+from .adjacency import build_normalized_adjacency
+
+__all__ = ["edge_dropout_view", "node_dropout_view", "masked_interaction_matrix"]
+
+
+def edge_dropout_view(
+    dataset: InteractionDataset, drop_rate: float, rng: np.random.Generator
+) -> sp.csr_matrix:
+    """Normalised adjacency of a view with a fraction of interactions removed."""
+    if not 0.0 <= drop_rate < 1.0:
+        raise ValueError("drop_rate must be in [0, 1)")
+    matrix = dataset.train_matrix.tocoo()
+    keep = rng.random(matrix.nnz) >= drop_rate
+    if not keep.any():
+        keep[rng.integers(0, matrix.nnz)] = True
+    reduced = sp.csr_matrix(
+        (matrix.data[keep], (matrix.row[keep], matrix.col[keep])),
+        shape=matrix.shape,
+    )
+    return build_normalized_adjacency(dataset, interaction_matrix=reduced)
+
+
+def node_dropout_view(
+    dataset: InteractionDataset, drop_rate: float, rng: np.random.Generator
+) -> sp.csr_matrix:
+    """Normalised adjacency with all edges of randomly chosen nodes removed."""
+    if not 0.0 <= drop_rate < 1.0:
+        raise ValueError("drop_rate must be in [0, 1)")
+    matrix = dataset.train_matrix.tocoo()
+    dropped_users = rng.random(dataset.num_users) < drop_rate
+    dropped_items = rng.random(dataset.num_items) < drop_rate
+    keep = ~(dropped_users[matrix.row] | dropped_items[matrix.col])
+    if not keep.any():
+        keep[rng.integers(0, matrix.nnz)] = True
+    reduced = sp.csr_matrix(
+        (matrix.data[keep], (matrix.row[keep], matrix.col[keep])),
+        shape=matrix.shape,
+    )
+    return build_normalized_adjacency(dataset, interaction_matrix=reduced)
+
+
+def masked_interaction_matrix(
+    dataset: InteractionDataset, mask_rate: float, rng: np.random.Generator
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Mask a fraction of interactions; return the masked matrix and the masked pairs.
+
+    Used by the AutoCF-style masked-autoencoding objective: the model must
+    reconstruct the scores of the masked (user, item) pairs from the remaining
+    graph.
+    """
+    if not 0.0 < mask_rate < 1.0:
+        raise ValueError("mask_rate must be in (0, 1)")
+    matrix = dataset.train_matrix.tocoo()
+    masked = rng.random(matrix.nnz) < mask_rate
+    if not masked.any():
+        masked[rng.integers(0, matrix.nnz)] = True
+    if masked.all():
+        masked[rng.integers(0, matrix.nnz)] = False
+    keep = ~masked
+    reduced = sp.csr_matrix(
+        (matrix.data[keep], (matrix.row[keep], matrix.col[keep])),
+        shape=matrix.shape,
+    )
+    masked_pairs = np.stack([matrix.row[masked], matrix.col[masked]], axis=1)
+    return reduced, masked_pairs

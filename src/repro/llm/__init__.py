@@ -1,0 +1,17 @@
+"""LLM substrate: prompt assembly and (simulated) semantic embedding providers."""
+
+from .prompts import PromptTemplate, build_prompt, USER_SYSTEM_PROMPT, ITEM_SYSTEM_PROMPT
+from .provider import SemanticProvider, SemanticEmbeddings
+from .encoder import SimulatedLLMEncoder, HashingTextEncoder, CachedProvider
+
+__all__ = [
+    "PromptTemplate",
+    "build_prompt",
+    "USER_SYSTEM_PROMPT",
+    "ITEM_SYSTEM_PROMPT",
+    "SemanticProvider",
+    "SemanticEmbeddings",
+    "SimulatedLLMEncoder",
+    "HashingTextEncoder",
+    "CachedProvider",
+]

@@ -1,0 +1,47 @@
+"""Prompt construction following the RLMRec recipe used by the paper.
+
+The paper (Section V-A, "Training Details") combines a system prompt with the
+user/item profile to obtain the text handed to GPT-3.5-turbo, whose summary is
+then embedded with text-embedding-ada-002.  We reproduce the prompt assembly so
+that downstream code exercises the same interface, while the actual language
+model call is replaced by the deterministic simulator in
+:mod:`repro.llm.encoder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PromptTemplate", "USER_SYSTEM_PROMPT", "ITEM_SYSTEM_PROMPT", "build_prompt"]
+
+USER_SYSTEM_PROMPT = (
+    "You are an assistant that summarises a user's preferences for a "
+    "recommendation system. Given the user's interaction profile, produce a "
+    "concise description of what the user likes, the genres or categories they "
+    "favour, and the kind of items they are likely to enjoy next."
+)
+
+ITEM_SYSTEM_PROMPT = (
+    "You are an assistant that summarises an item for a recommendation system. "
+    "Given the item's profile, describe its key characteristics, the audience "
+    "it appeals to, and which user preferences it satisfies."
+)
+
+
+@dataclass(frozen=True)
+class PromptTemplate:
+    """A (system prompt, profile) pair rendered into a single request string."""
+
+    system_prompt: str
+    profile: str
+
+    def render(self) -> str:
+        return f"[SYSTEM]\n{self.system_prompt}\n\n[PROFILE]\n{self.profile}\n\n[RESPONSE]\n"
+
+
+def build_prompt(profile: str, entity: str = "user") -> PromptTemplate:
+    """Assemble the prompt for a user or item profile."""
+    if entity not in {"user", "item"}:
+        raise ValueError("entity must be 'user' or 'item'")
+    system = USER_SYSTEM_PROMPT if entity == "user" else ITEM_SYSTEM_PROMPT
+    return PromptTemplate(system_prompt=system, profile=profile)

@@ -1,0 +1,65 @@
+"""Abstract semantic-embedding provider interface.
+
+The alignment frameworks (DaRec, RLMRec, KAR) only require a matrix of user
+and item semantic embeddings ``E_L``; where those embeddings come from is an
+implementation detail behind :class:`SemanticProvider`.  The paper uses
+GPT-3.5-turbo + text-embedding-ada-002; this repository ships a deterministic
+simulator (:class:`repro.llm.encoder.SimulatedLLMEncoder`) plus a cache layer
+so real embeddings could be dropped in without touching the alignment code.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..data.interactions import InteractionDataset
+
+__all__ = ["SemanticProvider", "SemanticEmbeddings"]
+
+
+class SemanticEmbeddings:
+    """Container for user and item semantic (LLM-side) embeddings."""
+
+    def __init__(self, user_embeddings: np.ndarray, item_embeddings: np.ndarray) -> None:
+        user_embeddings = np.asarray(user_embeddings, dtype=np.float64)
+        item_embeddings = np.asarray(item_embeddings, dtype=np.float64)
+        if user_embeddings.ndim != 2 or item_embeddings.ndim != 2:
+            raise ValueError("embeddings must be 2-D matrices")
+        if user_embeddings.shape[1] != item_embeddings.shape[1]:
+            raise ValueError("user and item embeddings must share their dimensionality")
+        self.user_embeddings = user_embeddings
+        self.item_embeddings = item_embeddings
+
+    @property
+    def dim(self) -> int:
+        return self.user_embeddings.shape[1]
+
+    @property
+    def num_users(self) -> int:
+        return self.user_embeddings.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        return self.item_embeddings.shape[0]
+
+    def concatenated(self) -> np.ndarray:
+        """User rows stacked above item rows (the paper's joint ``E_L``)."""
+        return np.concatenate([self.user_embeddings, self.item_embeddings], axis=0)
+
+    def save(self, path: str) -> None:
+        np.savez_compressed(path, users=self.user_embeddings, items=self.item_embeddings)
+
+    @classmethod
+    def load(cls, path: str) -> "SemanticEmbeddings":
+        archive = np.load(path)
+        return cls(archive["users"], archive["items"])
+
+
+class SemanticProvider(ABC):
+    """Produces :class:`SemanticEmbeddings` for a dataset."""
+
+    @abstractmethod
+    def encode(self, dataset: InteractionDataset) -> SemanticEmbeddings:
+        """Return semantic embeddings for every user and item in ``dataset``."""

@@ -1,0 +1,17 @@
+"""Plain matrix factorisation trained with BPR (the simplest backbone)."""
+
+from __future__ import annotations
+
+from .base import BaseRecommender
+
+__all__ = ["BPRMF"]
+
+
+class BPRMF(BaseRecommender):
+    """Bayesian Personalised Ranking matrix factorisation.
+
+    Not part of the paper's comparison table, but useful as a fast sanity
+    backbone in tests and as the minimal example of the plug-and-play API.
+    """
+
+    name = "bpr-mf"

@@ -1,0 +1,27 @@
+"""NumPy autograd / neural-network substrate (PyTorch substitute)."""
+
+from .tensor import Tensor, as_tensor, no_grad, is_grad_enabled
+from .layers import Module, Parameter, Linear, MLP, Embedding, Dropout, Sequential
+from .optim import Optimizer, SGD, Adam
+from .sparse import sparse_dense_matmul
+from . import functional, init
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "sparse_dense_matmul",
+    "functional",
+    "init",
+]

@@ -1,0 +1,254 @@
+"""Neural network modules built on the autograd substrate.
+
+Provides the minimal set of layers used throughout the reproduction:
+``Linear``, ``MLP`` (the backbone of the DaRec shared/specific projectors),
+``Embedding`` (user/item tables of the CF backbones) and ``Dropout``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from . import init
+from .tensor import Tensor
+
+__all__ = ["Module", "Parameter", "Linear", "MLP", "Embedding", "Dropout", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable by its owning :class:`Module`."""
+
+    def __init__(self, data: np.ndarray, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with PyTorch-like parameter discovery and train/eval modes."""
+
+    def __init__(self) -> None:
+        self._training = True
+
+    # -- parameter traversal ------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            yield from _collect_parameters(value, seen)
+
+    def named_parameters(self) -> Iterator[tuple[str, Parameter]]:
+        seen: set[int] = set()
+        for key, value in self.__dict__.items():
+            for suffix, param in _collect_named(value, seen):
+                yield (f"{key}{suffix}", param)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- train / eval -------------------------------------------------------
+    @property
+    def training(self) -> bool:
+        return self._training
+
+    def train(self) -> "Module":
+        self._apply_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._apply_mode(False)
+        return self
+
+    def _apply_mode(self, training: bool) -> None:
+        self._training = training
+        for value in self.__dict__.values():
+            for module in _collect_modules(value):
+                module._apply_mode(training)
+
+    # -- state dict ---------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}: {param.data.shape} vs {state[name].shape}")
+            param.data = state[name].copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+
+def _collect_parameters(value, seen: set[int]) -> Iterator[Parameter]:
+    if isinstance(value, Parameter):
+        if id(value) not in seen:
+            seen.add(id(value))
+            yield value
+    elif isinstance(value, Module):
+        for sub in value.__dict__.values():
+            yield from _collect_parameters(sub, seen)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect_parameters(item, seen)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect_parameters(item, seen)
+
+
+def _collect_named(value, seen: set[int], prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+    if isinstance(value, Parameter):
+        if id(value) not in seen:
+            seen.add(id(value))
+            yield prefix, value
+    elif isinstance(value, Module):
+        for key, sub in value.__dict__.items():
+            yield from _collect_named(sub, seen, prefix=f"{prefix}.{key}")
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            yield from _collect_named(item, seen, prefix=f"{prefix}.{index}")
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from _collect_named(item, seen, prefix=f"{prefix}.{key}")
+
+
+def _collect_modules(value) -> Iterator[Module]:
+    if isinstance(value, Module):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect_modules(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect_modules(item)
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout; identity outside of training mode."""
+
+    def __init__(self, rate: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.rate) / (1.0 - self.rate)
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """Run modules in order; also accepts bare callables (activations)."""
+
+    def __init__(self, *stages) -> None:
+        super().__init__()
+        self.stages = list(stages)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for stage in self.stages:
+            x = stage(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron used for the DaRec shared/specific projectors."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: Sequence[int],
+        out_features: int,
+        activation: str = "relu",
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        sizes = [in_features, *hidden_features, out_features]
+        self.layers = [Linear(sizes[i], sizes[i + 1], rng=rng) for i in range(len(sizes) - 1)]
+        self.dropouts = [Dropout(dropout, rng=rng) for _ in range(len(self.layers) - 1)]
+        if activation not in {"relu", "tanh", "leaky_relu", "identity"}:
+            raise ValueError(f"unsupported activation: {activation}")
+        self.activation = activation
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "relu":
+            return x.relu()
+        if self.activation == "tanh":
+            return x.tanh()
+        if self.activation == "leaky_relu":
+            return x.leaky_relu()
+        return x
+
+    def forward(self, x: Tensor) -> Tensor:
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index < len(self.layers) - 1:
+                x = self._activate(x)
+                x = self.dropouts[index](x)
+        return x
+
+
+class Embedding(Module):
+    """Lookup table with Xavier-initialised rows (user/item embeddings)."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+        std: float | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        if std is None:
+            weight = init.xavier_uniform((num_embeddings, embedding_dim), rng)
+        else:
+            weight = init.normal((num_embeddings, embedding_dim), rng, std=std)
+        self.weight = Parameter(weight, name="embedding")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return self.weight.take_rows(indices)
+
+    def all(self) -> Tensor:
+        """Return the whole table as a tensor on the tape."""
+        return self.weight

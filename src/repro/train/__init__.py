@@ -1,0 +1,7 @@
+"""Training loop, configuration and early stopping."""
+
+from .config import TrainingConfig
+from .early_stopping import EarlyStopping
+from .trainer import Trainer, TrainingHistory, train_recommender
+
+__all__ = ["TrainingConfig", "EarlyStopping", "Trainer", "TrainingHistory", "train_recommender"]

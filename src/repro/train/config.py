@@ -1,0 +1,42 @@
+"""Training configuration dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TrainingConfig"]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the joint optimisation loop (paper Alg. 1).
+
+    The paper trains every model with Adam at learning rate 1e-3 and a trade-off
+    parameter λ = 0.1; those are the defaults here.  ``epochs`` and
+    ``batch_size`` are intentionally small because the synthetic benchmarks are
+    small — the experiment harness overrides them per experiment.
+    """
+
+    epochs: int = 5
+    batch_size: int = 512
+    learning_rate: float = 1e-3
+    trade_off: float = 0.1
+    weight_decay: float = 0.0
+    eval_every: int = 0
+    eval_ks: tuple[int, ...] = (5, 10, 20)
+    early_stopping_patience: int = 0
+    early_stopping_metric: str = "recall@20"
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.trade_off < 0:
+            raise ValueError("trade_off must be non-negative")
+        if self.eval_every < 0 or self.early_stopping_patience < 0:
+            raise ValueError("eval_every and early_stopping_patience must be non-negative")

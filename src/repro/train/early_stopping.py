@@ -1,0 +1,34 @@
+"""Early stopping on a validation metric."""
+
+from __future__ import annotations
+
+__all__ = ["EarlyStopping"]
+
+
+class EarlyStopping:
+    """Stop training when the monitored metric has not improved for ``patience`` checks."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0) -> None:
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_value: float | None = None
+        self.best_step: int = -1
+        self._bad_checks = 0
+
+    def update(self, value: float, step: int) -> bool:
+        """Record a new metric value; return ``True`` if training should stop."""
+        if self.best_value is None or value > self.best_value + self.min_delta:
+            self.best_value = value
+            self.best_step = step
+            self._bad_checks = 0
+            return False
+        self._bad_checks += 1
+        return self._bad_checks >= self.patience
+
+    @property
+    def should_stop(self) -> bool:
+        return self._bad_checks >= self.patience

@@ -1,0 +1,158 @@
+"""RLMRec-Con, RLMRec-Gen and KAR baselines plus the AlignedRecommender composite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    ALIGNMENTS,
+    AlignedRecommender,
+    KAR,
+    RLMRecContrastive,
+    RLMRecGenerative,
+    create_alignment,
+)
+from repro.models import LightGCN
+from repro.nn import Adam
+
+
+class TestRLMRecContrastive:
+    def test_loss_finite_and_positive(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        module = RLMRecContrastive(lightgcn_backbone, tiny_semantic, seed=0)
+        loss = module.alignment_loss(bpr_batch)
+        assert np.isfinite(loss.item()) and loss.item() > 0
+
+    def test_gradients_flow_to_projector_and_backbone(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        module = RLMRecContrastive(lightgcn_backbone, tiny_semantic, seed=0)
+        module.alignment_loss(bpr_batch).backward()
+        assert any(p.grad is not None for p in module.projector.parameters())
+        assert lightgcn_backbone.user_embedding.weight.grad is not None
+
+    def test_invalid_temperature(self, lightgcn_backbone, tiny_semantic):
+        with pytest.raises(ValueError):
+            RLMRecContrastive(lightgcn_backbone, tiny_semantic, temperature=0.0)
+
+    def test_training_reduces_contrastive_loss(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        module = RLMRecContrastive(lightgcn_backbone, tiny_semantic, seed=0)
+        optimizer = Adam(list(module.parameters()), lr=0.01)
+        first = module.alignment_loss(bpr_batch).item()
+        for _ in range(20):
+            optimizer.zero_grad()
+            loss = module.alignment_loss(bpr_batch)
+            loss.backward()
+            optimizer.step()
+        assert module.alignment_loss(bpr_batch).item() < first
+
+
+class TestRLMRecGenerative:
+    def test_loss_finite(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        module = RLMRecGenerative(lightgcn_backbone, tiny_semantic, seed=0)
+        assert np.isfinite(module.alignment_loss(bpr_batch).item())
+
+    def test_invalid_mask_rate(self, lightgcn_backbone, tiny_semantic):
+        with pytest.raises(ValueError):
+            RLMRecGenerative(lightgcn_backbone, tiny_semantic, mask_rate=0.0)
+
+    def test_full_mask_rate_allowed(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        module = RLMRecGenerative(lightgcn_backbone, tiny_semantic, mask_rate=1.0, seed=0)
+        assert np.isfinite(module.alignment_loss(bpr_batch).item())
+
+    def test_generator_learns_to_reconstruct(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        module = RLMRecGenerative(lightgcn_backbone, tiny_semantic, mask_rate=1.0, seed=0)
+        optimizer = Adam(list(module.generator.parameters()), lr=0.01)
+        first = module.alignment_loss(bpr_batch).item()
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = module.alignment_loss(bpr_batch)
+            loss.backward()
+            optimizer.step()
+        assert module.alignment_loss(bpr_batch).item() < first
+
+
+class TestKAR:
+    def test_transform_changes_representations(self, lightgcn_backbone, tiny_semantic):
+        module = KAR(lightgcn_backbone, tiny_semantic, blend=0.5, seed=0)
+        users, items = lightgcn_backbone.propagate()
+        new_users, new_items = module.transform_representations(users, items)
+        assert not np.allclose(new_users.data, users.data)
+        assert not np.allclose(new_items.data, items.data)
+
+    def test_zero_blend_is_identity(self, lightgcn_backbone, tiny_semantic):
+        module = KAR(lightgcn_backbone, tiny_semantic, blend=0.0, seed=0)
+        users, items = lightgcn_backbone.propagate()
+        new_users, _ = module.transform_representations(users, items)
+        np.testing.assert_allclose(new_users.data, users.data)
+
+    def test_invalid_blend(self, lightgcn_backbone, tiny_semantic):
+        with pytest.raises(ValueError):
+            KAR(lightgcn_backbone, tiny_semantic, blend=1.5)
+
+    def test_alignment_loss_is_augmented_bpr(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        module = KAR(lightgcn_backbone, tiny_semantic, seed=0)
+        loss = module.alignment_loss(bpr_batch)
+        assert np.isfinite(loss.item()) and loss.item() > 0
+
+
+class TestAlignedRecommender:
+    def test_name_combines_backbone_and_alignment(self, lightgcn_backbone, tiny_semantic):
+        module = RLMRecContrastive(lightgcn_backbone, tiny_semantic)
+        model = AlignedRecommender(lightgcn_backbone, module)
+        assert model.name == "lightgcn+rlmrec-con"
+        assert AlignedRecommender(lightgcn_backbone, None).name == "lightgcn+none"
+
+    def test_loss_adds_weighted_alignment_term(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        module = RLMRecContrastive(lightgcn_backbone, tiny_semantic, seed=0)
+        base_only = AlignedRecommender(lightgcn_backbone, module, trade_off=0.0).loss(bpr_batch).item()
+        combined = AlignedRecommender(lightgcn_backbone, module, trade_off=0.5).loss(bpr_batch).item()
+        base_loss = lightgcn_backbone.bpr_step(bpr_batch).item()
+        align_loss = module.alignment_loss(bpr_batch).item()
+        assert base_only == pytest.approx(base_loss, rel=1e-9)
+        assert combined == pytest.approx(base_loss + 0.5 * align_loss, rel=1e-6)
+
+    def test_invalid_trade_off(self, lightgcn_backbone):
+        with pytest.raises(ValueError):
+            AlignedRecommender(lightgcn_backbone, None, trade_off=-1.0)
+
+    def test_kar_affects_scoring(self, lightgcn_backbone, tiny_semantic):
+        kar_model = AlignedRecommender(lightgcn_backbone, KAR(lightgcn_backbone, tiny_semantic, seed=0))
+        plain_model = AlignedRecommender(lightgcn_backbone, None)
+        assert not np.allclose(kar_model.score_all(), plain_model.score_all())
+
+    def test_non_transforming_alignment_keeps_scores(self, lightgcn_backbone, tiny_semantic):
+        module = RLMRecContrastive(lightgcn_backbone, tiny_semantic)
+        aligned = AlignedRecommender(lightgcn_backbone, module)
+        plain = AlignedRecommender(lightgcn_backbone, None)
+        np.testing.assert_allclose(aligned.score_all(), plain.score_all())
+
+    def test_score_all_shape(self, tiny_dataset, tiny_semantic):
+        backbone = LightGCN(tiny_dataset, embedding_dim=8, seed=0)
+        model = AlignedRecommender(backbone, None)
+        assert model.score_all().shape == (tiny_dataset.num_users, tiny_dataset.num_items)
+
+    def test_batch_node_indices_layout(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        module = RLMRecContrastive(lightgcn_backbone, tiny_semantic)
+        nodes = module.batch_node_indices(bpr_batch)
+        num_users = lightgcn_backbone.num_users
+        users_part = nodes[nodes < num_users]
+        items_part = nodes[nodes >= num_users]
+        assert set(users_part) == set(np.unique(bpr_batch.users))
+        expected_items = set(np.unique(np.concatenate([bpr_batch.pos_items, bpr_batch.neg_items])) + num_users)
+        assert set(items_part) == expected_items
+
+
+class TestFactory:
+    def test_registry_contains_all_variants(self):
+        assert set(ALIGNMENTS) == {"none", "rlmrec-con", "rlmrec-gen", "kar", "darec"}
+
+    def test_create_none_returns_none(self, lightgcn_backbone, tiny_semantic):
+        assert create_alignment("none", lightgcn_backbone, tiny_semantic) is None
+
+    def test_create_each_variant(self, lightgcn_backbone, tiny_semantic):
+        for name in ("rlmrec-con", "rlmrec-gen", "kar", "darec"):
+            module = create_alignment(name, lightgcn_backbone, tiny_semantic)
+            assert module is not None and module.name == name
+
+    def test_unknown_variant_rejected(self, lightgcn_backbone, tiny_semantic):
+        with pytest.raises(KeyError):
+            create_alignment("ctrl", lightgcn_backbone, tiny_semantic)

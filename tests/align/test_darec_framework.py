@@ -1,0 +1,139 @@
+"""DaRec framework: config handling, loss assembly, plug-and-play behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align import AlignedRecommender, DaRec, DaRecConfig
+from repro.models import LightGCN
+from repro.nn import Adam
+
+
+class TestDaRecConfig:
+    def test_defaults_valid(self):
+        config = DaRecConfig()
+        assert config.weight("orthogonal") == 1.0
+        assert config.weight("local") == 1.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            DaRecConfig(num_centers=0)
+        with pytest.raises(ValueError):
+            DaRecConfig(sample_size=0)
+        with pytest.raises(ValueError):
+            DaRecConfig(uniformity_target="everything")
+        with pytest.raises(KeyError):
+            DaRecConfig(loss_weights={"frobenius": 1.0})
+
+    def test_without_disables_terms(self):
+        config = DaRecConfig().without("global", "local")
+        assert config.weight("global") == 0.0
+        assert config.weight("local") == 0.0
+        assert config.weight("orthogonal") == 1.0
+
+    def test_without_unknown_term_rejected(self):
+        with pytest.raises(KeyError):
+            DaRecConfig().without("contrastive")
+
+    def test_loss_weights_override(self):
+        config = DaRecConfig(loss_weights={"global": 2.5})
+        assert config.weight("global") == 2.5
+
+
+@pytest.fixture()
+def darec(lightgcn_backbone, tiny_semantic):
+    config = DaRecConfig(shared_dim=12, hidden_dim=12, num_centers=3, sample_size=48, seed=0)
+    return DaRec(lightgcn_backbone, tiny_semantic, config)
+
+
+class TestDaRecLosses:
+    def test_loss_components_present(self, darec, bpr_batch):
+        components = darec.loss_components(bpr_batch)
+        assert set(components) == {"orthogonal", "uniformity", "global", "local"}
+        for value in components.values():
+            assert np.isfinite(value.item())
+
+    def test_ablated_components_absent(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        config = DaRecConfig(sample_size=32, num_centers=2).without("uniformity", "local")
+        module = DaRec(lightgcn_backbone, tiny_semantic, config)
+        components = module.loss_components(bpr_batch)
+        assert "uniformity" not in components
+        assert "local" not in components
+        assert "orthogonal" in components
+
+    def test_alignment_loss_scalar_and_finite(self, darec, bpr_batch):
+        loss = darec.alignment_loss(bpr_batch)
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+
+    def test_alignment_loss_zero_when_everything_disabled(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        config = DaRecConfig(sample_size=32).without("orthogonal", "uniformity", "global", "local")
+        module = DaRec(lightgcn_backbone, tiny_semantic, config)
+        assert module.alignment_loss(bpr_batch).item() == 0.0
+
+    def test_gradients_reach_backbone_and_projectors(self, darec, bpr_batch):
+        loss = darec.alignment_loss(bpr_batch)
+        loss.backward()
+        assert darec.backbone.user_embedding.weight.grad is not None
+        projector_grads = [p.grad for p in darec.projectors.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in projector_grads)
+
+    def test_sample_size_caps_subsample(self, lightgcn_backbone, tiny_semantic):
+        config = DaRecConfig(sample_size=16)
+        module = DaRec(lightgcn_backbone, tiny_semantic, config)
+        nodes = module._sample_nodes()
+        assert len(nodes) == 16
+
+    def test_sample_covers_whole_population_when_large(self, lightgcn_backbone, tiny_semantic):
+        total = lightgcn_backbone.num_users + lightgcn_backbone.num_items
+        config = DaRecConfig(sample_size=10_000)
+        module = DaRec(lightgcn_backbone, tiny_semantic, config)
+        assert len(module._sample_nodes()) == total
+
+    def test_shared_representations_frozen(self, darec):
+        collab, llm = darec.shared_representations(nodes=np.arange(20))
+        assert collab.shape == (20, 12)
+        assert llm.shape == (20, 12)
+
+    def test_mismatched_semantic_embeddings_rejected(self, lightgcn_backbone, tiny_semantic):
+        from repro.llm import SemanticEmbeddings
+
+        wrong = SemanticEmbeddings(
+            tiny_semantic.user_embeddings[:-1], tiny_semantic.item_embeddings
+        )
+        with pytest.raises(ValueError):
+            DaRec(lightgcn_backbone, wrong)
+
+
+class TestDaRecTraining:
+    def test_joint_training_reduces_loss(self, tiny_dataset, tiny_semantic):
+        from repro.data.sampling import BprSampler
+
+        backbone = LightGCN(tiny_dataset, embedding_dim=16, num_layers=2, seed=0)
+        config = DaRecConfig(shared_dim=12, num_centers=3, sample_size=48, seed=0)
+        model = AlignedRecommender(backbone, DaRec(backbone, tiny_semantic, config), trade_off=0.1)
+        sampler = BprSampler(tiny_dataset, batch_size=256, seed=0)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        losses = []
+        for _ in range(4):
+            epoch = []
+            for batch in sampler.epoch():
+                optimizer.zero_grad()
+                loss = model.loss(batch)
+                loss.backward()
+                optimizer.step()
+                epoch.append(loss.item())
+            losses.append(np.mean(epoch))
+        assert losses[-1] < losses[0]
+
+    def test_identity_matching_config_runs(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        config = DaRecConfig(sample_size=32, num_centers=3, matching="identity")
+        module = DaRec(lightgcn_backbone, tiny_semantic, config)
+        assert np.isfinite(module.alignment_loss(bpr_batch).item())
+
+    def test_uniformity_on_all_representations_config(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        config = DaRecConfig(sample_size=32, num_centers=2, uniformity_target="all")
+        module = DaRec(lightgcn_backbone, tiny_semantic, config)
+        components = module.loss_components(bpr_batch)
+        assert np.isfinite(components["uniformity"].item())

@@ -1,0 +1,150 @@
+"""DaRec loss terms: orthogonality, uniformity, global and local structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.darec import (
+    center_cosine_matrix,
+    global_structure_loss,
+    local_structure_loss,
+    orthogonality_loss,
+    pairwise_gaussian_potential,
+    uniformity_loss,
+)
+from repro.nn import Tensor
+
+
+class TestOrthogonalityLoss:
+    def test_orthogonal_vectors_give_zero(self):
+        specific = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        shared = Tensor(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert orthogonality_loss(specific, shared).item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_parallel_vectors_give_one(self):
+        x = Tensor(np.array([[1.0, 2.0], [3.0, -1.0]]))
+        assert orthogonality_loss(x, x).item() == pytest.approx(1.0)
+
+    def test_antiparallel_vectors_also_give_one(self):
+        x = Tensor(np.array([[1.0, 2.0]]))
+        assert orthogonality_loss(x, x * -1.0).item() == pytest.approx(1.0)
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError):
+            orthogonality_loss(Tensor(np.ones((3, 2))), Tensor(np.ones((4, 2))))
+
+    def test_gradient_pushes_towards_orthogonality(self):
+        rng = np.random.default_rng(0)
+        specific = Tensor(rng.normal(size=(10, 6)), requires_grad=True)
+        shared = Tensor(rng.normal(size=(10, 6)))
+        before = orthogonality_loss(specific, shared).item()
+        orthogonality_loss(specific, shared).backward()
+        updated = Tensor(specific.data - 0.5 * specific.grad)
+        after = orthogonality_loss(updated, shared).item()
+        assert after < before
+
+
+class TestUniformity:
+    def test_collapsed_points_have_higher_potential_than_spread(self):
+        collapsed = Tensor(np.ones((20, 4)))
+        spread = Tensor(np.random.default_rng(1).normal(size=(20, 4)))
+        assert pairwise_gaussian_potential(collapsed).item() > pairwise_gaussian_potential(spread).item()
+
+    def test_uniformity_loss_sums_both_modalities(self):
+        rng = np.random.default_rng(2)
+        a, b = Tensor(rng.normal(size=(15, 4))), Tensor(rng.normal(size=(15, 4)))
+        total = uniformity_loss(a, b).item()
+        assert total == pytest.approx(
+            pairwise_gaussian_potential(a).item() + pairwise_gaussian_potential(b).item()
+        )
+
+    def test_potential_bounded_above_by_zero(self):
+        points = Tensor(np.random.default_rng(3).normal(size=(30, 8)))
+        assert pairwise_gaussian_potential(points).item() <= 1e-9
+
+    def test_gradient_spreads_points(self):
+        points = Tensor(np.full((10, 3), 0.5) + 1e-3 * np.random.default_rng(4).normal(size=(10, 3)), requires_grad=True)
+        before = pairwise_gaussian_potential(points).item()
+        pairwise_gaussian_potential(points).backward()
+        updated = Tensor(points.data - 0.1 * points.grad)
+        after = pairwise_gaussian_potential(updated).item()
+        assert after < before
+
+
+class TestGlobalStructureLoss:
+    def test_identical_structures_give_zero(self):
+        x = Tensor(np.random.default_rng(5).normal(size=(12, 6)))
+        assert global_structure_loss(x, x).item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_rotated_structure_still_zero(self):
+        """Similarity structure is rotation invariant (S = E E^T = (ER)(ER)^T)."""
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(10, 4))
+        rotation, _ = np.linalg.qr(rng.normal(size=(4, 4)))
+        assert global_structure_loss(Tensor(x), Tensor(x @ rotation)).item() == pytest.approx(0.0, abs=1e-10)
+
+    def test_different_structures_positive(self):
+        rng = np.random.default_rng(7)
+        a = Tensor(rng.normal(size=(10, 4)))
+        b = Tensor(rng.normal(size=(10, 4)))
+        assert global_structure_loss(a, b).item() > 0
+
+    def test_unnormalised_variant_matches_frobenius_formula(self):
+        rng = np.random.default_rng(8)
+        a, b = rng.normal(size=(6, 3)), rng.normal(size=(6, 3))
+        expected = np.linalg.norm(a @ a.T - b @ b.T, "fro") ** 2
+        value = global_structure_loss(Tensor(a), Tensor(b), normalise=False).item()
+        assert value == pytest.approx(expected)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            global_structure_loss(Tensor(np.ones((4, 2))), Tensor(np.ones((5, 2))))
+
+    def test_normalised_loss_scale_independent_of_sample_size(self):
+        rng = np.random.default_rng(9)
+        small_a, small_b = rng.normal(size=(20, 4)), rng.normal(size=(20, 4))
+        big_a = np.concatenate([small_a] * 4)
+        big_b = np.concatenate([small_b] * 4)
+        small = global_structure_loss(Tensor(small_a), Tensor(small_b)).item()
+        big = global_structure_loss(Tensor(big_a), Tensor(big_b)).item()
+        assert big == pytest.approx(small, rel=1e-6)
+
+
+class TestLocalStructureLoss:
+    def test_identical_centres_give_zero_diagonal_term(self):
+        centres = Tensor(np.eye(4))
+        # identical centres: diagonal cosines are 1, off-diagonals are 0 → loss 0.
+        assert local_structure_loss(centres, centres).item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_mismatched_centres_penalised(self):
+        rng = np.random.default_rng(10)
+        a = Tensor(rng.normal(size=(4, 6)))
+        b = Tensor(rng.normal(size=(4, 6)))
+        assert local_structure_loss(a, b).item() > 0
+
+    def test_single_centre_case(self):
+        a = Tensor(np.array([[1.0, 0.0]]))
+        b = Tensor(np.array([[0.0, 1.0]]))
+        # cosine 0 → (0-1)^2 = 1; no off-diagonal terms.
+        assert local_structure_loss(a, b).item() == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            local_structure_loss(Tensor(np.ones((3, 2))), Tensor(np.ones((4, 2))))
+
+    def test_cosine_matrix_shape_and_range(self):
+        rng = np.random.default_rng(11)
+        matrix = center_cosine_matrix(Tensor(rng.normal(size=(5, 3))), Tensor(rng.normal(size=(5, 3)))).data
+        assert matrix.shape == (5, 5)
+        assert (np.abs(matrix) <= 1.0 + 1e-9).all()
+
+    def test_gradient_aligns_matched_centres(self):
+        rng = np.random.default_rng(12)
+        target = rng.normal(size=(3, 4))
+        moving = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        before = local_structure_loss(moving, Tensor(target)).item()
+        local_structure_loss(moving, Tensor(target)).backward()
+        updated = Tensor(moving.data - 0.2 * moving.grad)
+        after = local_structure_loss(updated, Tensor(target)).item()
+        assert after < before

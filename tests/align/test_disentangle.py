@@ -1,0 +1,67 @@
+"""Disentangled projector module (Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.darec import DisentangledProjectors
+from repro.nn import Tensor
+
+
+class TestDisentangledProjectors:
+    def test_output_shapes(self):
+        projectors = DisentangledProjectors(collab_dim=16, llm_dim=32, shared_dim=8, specific_dim=6)
+        reps = projectors(Tensor(np.ones((10, 16))), Tensor(np.ones((10, 32))))
+        assert reps.collab_shared.shape == (10, 8)
+        assert reps.collab_specific.shape == (10, 6)
+        assert reps.llm_shared.shape == (10, 8)
+        assert reps.llm_specific.shape == (10, 6)
+
+    def test_specific_dim_defaults_to_shared_dim(self):
+        projectors = DisentangledProjectors(collab_dim=4, llm_dim=4, shared_dim=5)
+        assert projectors.specific_dim == 5
+
+    def test_invalid_shared_dim(self):
+        with pytest.raises(ValueError):
+            DisentangledProjectors(collab_dim=4, llm_dim=4, shared_dim=0)
+
+    def test_concatenated_width(self):
+        projectors = DisentangledProjectors(collab_dim=8, llm_dim=8, shared_dim=6, specific_dim=4)
+        reps = projectors(Tensor(np.ones((5, 8))), Tensor(np.ones((5, 8))))
+        assert reps.concatenated("collab").shape == (5, 10)
+        assert reps.concatenated("llm").shape == (5, 10)
+        with pytest.raises(ValueError):
+            reps.concatenated("both")
+
+    def test_four_encoders_are_independent(self):
+        projectors = DisentangledProjectors(collab_dim=8, llm_dim=8, shared_dim=6, seed=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 8)))
+        reps = projectors(x, x)
+        # Shared and specific encoders of the same modality must not be identical maps.
+        assert not np.allclose(reps.collab_shared.data, reps.collab_specific.data)
+        # Collaborative and LLM encoders are distinct networks as well.
+        assert not np.allclose(reps.collab_shared.data, reps.llm_shared.data)
+
+    def test_gradients_reach_every_encoder(self):
+        projectors = DisentangledProjectors(collab_dim=6, llm_dim=6, shared_dim=4, seed=1)
+        collab = Tensor(np.random.default_rng(1).normal(size=(7, 6)))
+        llm = Tensor(np.random.default_rng(2).normal(size=(7, 6)))
+        reps = projectors(collab, llm)
+        loss = (
+            reps.collab_shared.sum()
+            + reps.collab_specific.sum()
+            + reps.llm_shared.sum()
+            + reps.llm_specific.sum()
+        )
+        loss.backward()
+        for param in projectors.parameters():
+            assert param.grad is not None
+
+    def test_parameter_count(self):
+        projectors = DisentangledProjectors(
+            collab_dim=10, llm_dim=20, shared_dim=8, specific_dim=8, hidden_dim=16
+        )
+        # Four MLPs, each with two Linear layers (in→16, 16→8) + biases.
+        expected = 2 * ((10 * 16 + 16) + (16 * 8 + 8)) + 2 * ((20 * 16 + 16) + (16 * 8 + 8))
+        assert projectors.num_parameters() == expected

@@ -1,0 +1,86 @@
+"""Adaptive preference-centre matching (Eq. 7-8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.darec import greedy_center_matching, identity_matching, match_centers
+
+
+class TestGreedyMatching:
+    def test_recovers_a_permutation(self):
+        rng = np.random.default_rng(0)
+        centres = rng.normal(0.0, 5.0, size=(6, 4))
+        permutation = rng.permutation(6)
+        shuffled = centres[permutation] + 1e-3 * rng.normal(size=(6, 4))
+        collab_order, llm_order = greedy_center_matching(centres, shuffled)
+        # Matched pairs must correspond to the same underlying centre.
+        for c_idx, l_idx in zip(collab_order, llm_order):
+            assert permutation[l_idx] == c_idx
+
+    def test_orders_are_permutations(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=(8, 3)), rng.normal(size=(8, 3))
+        collab_order, llm_order = greedy_center_matching(a, b)
+        assert sorted(collab_order) == list(range(8))
+        assert sorted(llm_order) == list(range(8))
+
+    def test_pairs_sorted_by_increasing_distance(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(5, 3)), rng.normal(size=(5, 3))
+        collab_order, llm_order = greedy_center_matching(a, b)
+        distances = [np.linalg.norm(a[i] - b[j]) for i, j in zip(collab_order, llm_order)]
+        # Greedy matching yields non-decreasing distances only among *available*
+        # pairs; the first pair is always the global minimum.
+        full = np.linalg.norm(a[:, None, :] - b[None, :, :], axis=2)
+        assert distances[0] == pytest.approx(full.min())
+
+    def test_identical_sets_match_identity(self):
+        centres = np.random.default_rng(3).normal(size=(4, 5))
+        collab_order, llm_order = greedy_center_matching(centres, centres.copy())
+        np.testing.assert_array_equal(collab_order, llm_order)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_center_matching(np.ones((3, 2)), np.ones((4, 2)))
+
+    def test_single_centre(self):
+        collab_order, llm_order = greedy_center_matching(np.ones((1, 3)), np.zeros((1, 3)))
+        assert collab_order.tolist() == [0] and llm_order.tolist() == [0]
+
+
+class TestIdentityMatching:
+    def test_returns_arange(self):
+        collab_order, llm_order = identity_matching(np.ones((5, 2)), np.ones((5, 2)))
+        np.testing.assert_array_equal(collab_order, np.arange(5))
+        np.testing.assert_array_equal(llm_order, np.arange(5))
+
+
+class TestDispatch:
+    def test_adaptive_strategy(self):
+        a = np.random.default_rng(4).normal(size=(3, 2))
+        result = match_centers(a, a, strategy="adaptive")
+        np.testing.assert_array_equal(result[0], result[1])
+
+    def test_identity_strategy(self):
+        a = np.random.default_rng(5).normal(size=(3, 2))
+        np.testing.assert_array_equal(match_centers(a, a, strategy="identity")[0], np.arange(3))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(KeyError):
+            match_centers(np.ones((2, 2)), np.ones((2, 2)), strategy="hungarian")
+
+    def test_adaptive_beats_identity_on_shuffled_centres(self):
+        """The greedy matching should produce closer pairs than naive index matching."""
+        rng = np.random.default_rng(6)
+        centres = rng.normal(0.0, 5.0, size=(6, 4))
+        shuffled = centres[rng.permutation(6)]
+
+        def total_distance(orders):
+            c_order, l_order = orders
+            return sum(np.linalg.norm(centres[i] - shuffled[j]) for i, j in zip(c_order, l_order))
+
+        assert total_distance(greedy_center_matching(centres, shuffled)) <= total_distance(
+            identity_matching(centres, shuffled)
+        )

@@ -1,0 +1,79 @@
+"""Long-distance user dependency case study (Fig. 8 machinery)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.analysis import (
+    build_user_item_graph,
+    find_distant_user_pairs,
+    pair_relevance,
+    relevance_report,
+)
+
+
+class TestGraphConstruction:
+    def test_node_counts(self, tiny_dataset):
+        graph = build_user_item_graph(tiny_dataset)
+        assert graph.number_of_nodes() == tiny_dataset.num_users + tiny_dataset.num_items
+        assert graph.number_of_edges() == len(np.unique(tiny_dataset.train, axis=0))
+
+    def test_edges_are_bipartite(self, tiny_dataset):
+        graph = build_user_item_graph(tiny_dataset)
+        for left, right in graph.edges():
+            assert {left[0], right[0]} == {"u", "i"}
+
+
+class TestDistantPairs:
+    def test_pairs_respect_minimum_hops(self, tiny_dataset):
+        pairs = find_distant_user_pairs(tiny_dataset, min_hops=4, max_pairs=5, seed=0)
+        graph = build_user_item_graph(tiny_dataset)
+        for anchor, target, hops in pairs:
+            assert hops >= 4
+            assert nx.shortest_path_length(graph, f"u{anchor}", f"u{target}") == hops
+
+    def test_max_pairs_respected(self, tiny_dataset):
+        pairs = find_distant_user_pairs(tiny_dataset, min_hops=2, max_pairs=3, seed=0)
+        assert len(pairs) <= 3
+
+    def test_unreachable_distance_returns_empty(self, tiny_dataset):
+        pairs = find_distant_user_pairs(tiny_dataset, min_hops=1000, max_pairs=3, seed=0)
+        assert pairs == []
+
+    def test_hop_distances_are_even(self, tiny_dataset):
+        # User-to-user paths in a bipartite graph always have even length.
+        pairs = find_distant_user_pairs(tiny_dataset, min_hops=2, max_pairs=10, seed=1)
+        assert all(hops % 2 == 0 for _, _, hops in pairs)
+
+
+class TestPairRelevance:
+    def test_identical_embeddings_rank_first(self):
+        embeddings = np.random.default_rng(0).normal(size=(20, 8))
+        embeddings[7] = embeddings[3]
+        result = pair_relevance(embeddings, anchor=3, target=7, hop_distance=6)
+        assert result.rank == 1
+        assert result.relevance_score > 0.999
+
+    def test_opposite_embeddings_rank_last(self):
+        rng = np.random.default_rng(1)
+        embeddings = rng.normal(size=(10, 4))
+        embeddings[5] = -embeddings[2] * 10
+        result = pair_relevance(embeddings, anchor=2, target=5)
+        assert result.rank == 9  # anchor itself is excluded
+
+    def test_anchor_never_ranked(self):
+        embeddings = np.random.default_rng(2).normal(size=(6, 3))
+        result = pair_relevance(embeddings, anchor=0, target=3)
+        assert 1 <= result.rank <= 5
+
+    def test_relevance_report_covers_all_models(self):
+        rng = np.random.default_rng(3)
+        models = {"a": rng.normal(size=(12, 4)), "b": rng.normal(size=(12, 4))}
+        pairs = [(0, 5, 6), (1, 7, 8)]
+        report = relevance_report(models, pairs)
+        assert set(report) == {"a", "b"}
+        assert all(len(results) == 2 for results in report.values())
+        for results in report.values():
+            for item, (anchor, target, hops) in zip(results, pairs):
+                assert item.anchor == anchor and item.target == target and item.hop_distance == hops

@@ -1,0 +1,115 @@
+"""Alignment / uniformity / neighbourhood-overlap representation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    alignment_metric,
+    embedding_quality_report,
+    neighborhood_overlap,
+    uniformity_metric,
+)
+
+
+class TestAlignmentMetric:
+    def test_identical_pairs_give_zero(self):
+        x = np.random.default_rng(0).normal(size=(20, 8))
+        assert alignment_metric(x, x.copy()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_opposite_pairs_give_maximum(self):
+        x = np.random.default_rng(1).normal(size=(10, 4))
+        # Antipodal unit vectors are distance 2 apart → squared distance 4.
+        assert alignment_metric(x, -x) == pytest.approx(4.0, abs=1e-9)
+
+    def test_smaller_perturbation_better_alignment(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(50, 6))
+        small = alignment_metric(x, x + 0.01 * rng.normal(size=x.shape))
+        large = alignment_metric(x, x + 1.0 * rng.normal(size=x.shape))
+        assert small < large
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            alignment_metric(np.ones((3, 2)), np.ones((4, 2)))
+
+
+class TestUniformityMetric:
+    def test_collapsed_cloud_less_uniform_than_spread(self):
+        rng = np.random.default_rng(3)
+        collapsed = np.ones((30, 5)) + 1e-3 * rng.normal(size=(30, 5))
+        spread = rng.normal(size=(30, 5))
+        assert uniformity_metric(spread) < uniformity_metric(collapsed)
+
+    def test_upper_bound_zero(self):
+        assert uniformity_metric(np.random.default_rng(4).normal(size=(40, 6))) <= 1e-9
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            uniformity_metric(np.ones(5))
+
+
+class TestNeighborhoodOverlap:
+    def test_identical_spaces_give_full_overlap(self):
+        x = np.random.default_rng(5).normal(size=(25, 6))
+        assert neighborhood_overlap(x, x.copy(), k=5) == pytest.approx(1.0)
+
+    def test_unrelated_spaces_give_low_overlap(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(60, 8))
+        b = rng.normal(size=(60, 8))
+        assert neighborhood_overlap(a, b, k=5) < 0.4
+
+    def test_related_spaces_beat_unrelated(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(60, 8))
+        related = a + 0.1 * rng.normal(size=a.shape)
+        unrelated = rng.normal(size=a.shape)
+        assert neighborhood_overlap(a, related, k=5) > neighborhood_overlap(a, unrelated, k=5)
+
+    def test_k_clamped_to_population(self):
+        x = np.random.default_rng(8).normal(size=(5, 3))
+        assert 0.0 <= neighborhood_overlap(x, x, k=50) <= 1.0
+
+    def test_mismatched_instance_counts_rejected(self):
+        with pytest.raises(ValueError):
+            neighborhood_overlap(np.ones((4, 2)), np.ones((5, 2)))
+
+    def test_too_few_instances_rejected(self):
+        with pytest.raises(ValueError):
+            neighborhood_overlap(np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestReport:
+    def test_report_contains_all_metrics(self):
+        rng = np.random.default_rng(9)
+        collab = rng.normal(size=(30, 6))
+        semantic = collab + 0.2 * rng.normal(size=(30, 6))
+        report = embedding_quality_report(collab, semantic, k=5)
+        assert set(report) == {
+            "alignment",
+            "uniformity_collaborative",
+            "uniformity_semantic",
+            "neighborhood_overlap",
+        }
+        assert np.isfinite(report["alignment"])
+        assert 0.0 <= report["neighborhood_overlap"] <= 1.0
+
+    def test_report_with_mismatched_dims_marks_alignment_nan(self):
+        rng = np.random.default_rng(10)
+        collab = rng.normal(size=(30, 6))
+        semantic = rng.normal(size=(30, 12))
+        report = embedding_quality_report(collab, semantic, k=5)
+        assert np.isnan(report["alignment"])
+        assert np.isfinite(report["neighborhood_overlap"])
+
+    def test_darec_shared_spaces_have_positive_overlap(self, lightgcn_backbone, tiny_semantic):
+        """End-to-end: DaRec's shared spaces share neighbourhood structure."""
+        from repro.align import DaRec, DaRecConfig
+
+        module = DaRec(lightgcn_backbone, tiny_semantic, DaRecConfig(shared_dim=12, sample_size=64))
+        nodes = np.arange(40)
+        collab_shared, llm_shared = module.shared_representations(nodes=nodes)
+        report = embedding_quality_report(collab_shared, llm_shared, k=5)
+        assert report["neighborhood_overlap"] >= 0.0

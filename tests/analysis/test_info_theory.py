@@ -1,0 +1,106 @@
+"""Discrete information estimators used for the Theorem 1/2 experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    discrete_conditional_entropy,
+    discrete_entropy,
+    discrete_mutual_information,
+    information_gap,
+    quantize_representation,
+    representation_conditional_entropy,
+    representation_mutual_information,
+)
+
+
+class TestDiscreteEstimators:
+    def test_entropy_of_uniform_labels(self):
+        labels = np.repeat(np.arange(4), 100)
+        assert discrete_entropy(labels) == pytest.approx(np.log(4), abs=1e-9)
+
+    def test_entropy_of_constant_labels_is_zero(self):
+        assert discrete_entropy(np.zeros(50, dtype=int)) == pytest.approx(0.0)
+
+    def test_entropy_of_empty_sequence(self):
+        assert discrete_entropy(np.array([], dtype=int)) == 0.0
+
+    def test_mutual_information_of_identical_variables_equals_entropy(self):
+        labels = np.repeat(np.arange(3), 40)
+        assert discrete_mutual_information(labels, labels) == pytest.approx(discrete_entropy(labels), abs=1e-9)
+
+    def test_mutual_information_of_independent_variables_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 4, size=20_000)
+        y = rng.integers(0, 4, size=20_000)
+        assert discrete_mutual_information(x, y) < 0.01
+
+    def test_mutual_information_symmetry(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 3, size=500)
+        y = (x + rng.integers(0, 2, size=500)) % 3
+        assert discrete_mutual_information(x, y) == pytest.approx(discrete_mutual_information(y, x), abs=1e-12)
+
+    def test_mutual_information_nonnegative(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            x = rng.integers(0, 5, size=200)
+            y = rng.integers(0, 5, size=200)
+            assert discrete_mutual_information(x, y) >= 0.0
+
+    def test_conditional_entropy_identity(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 4, size=1000)
+        y = rng.integers(0, 3, size=1000)
+        expected = discrete_entropy(x) - discrete_mutual_information(x, y)
+        assert discrete_conditional_entropy(x, y) == pytest.approx(expected, abs=1e-12)
+
+    def test_conditional_entropy_zero_when_determined(self):
+        y = np.repeat(np.arange(4), 25)
+        x = y * 2  # deterministic function of y
+        assert discrete_conditional_entropy(x, y) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            discrete_mutual_information(np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+    def test_information_gap_absolute_difference(self):
+        y = np.repeat(np.arange(2), 50)
+        informative = y.copy()
+        uninformative = np.zeros(100, dtype=int)
+        gap = information_gap(informative, uninformative, y)
+        assert gap == pytest.approx(discrete_mutual_information(informative, y), abs=1e-9)
+
+
+class TestRepresentationEstimators:
+    def test_quantize_shape_and_range(self):
+        representation = np.random.default_rng(4).normal(size=(60, 8))
+        codes = quantize_representation(representation, num_codewords=8)
+        assert codes.shape == (60,)
+        assert codes.max() < 8
+
+    def test_informative_representation_has_higher_mi(self):
+        rng = np.random.default_rng(5)
+        labels = np.repeat(np.arange(4), 50)
+        centres = rng.normal(0.0, 5.0, size=(4, 6))
+        informative = centres[labels] + 0.1 * rng.normal(size=(200, 6))
+        noise = rng.normal(size=(200, 6))
+        mi_informative = representation_mutual_information(informative, labels, num_codewords=8)
+        mi_noise = representation_mutual_information(noise, labels, num_codewords=8)
+        assert mi_informative > mi_noise + 0.3
+
+    def test_conditional_entropy_lower_for_label_aligned_representation(self):
+        rng = np.random.default_rng(6)
+        labels = np.repeat(np.arange(4), 50)
+        centres = rng.normal(0.0, 5.0, size=(4, 6))
+        aligned = centres[labels] + 0.05 * rng.normal(size=(200, 6))
+        noisy = np.concatenate([aligned, rng.normal(0, 5.0, size=(200, 6))], axis=1)
+        h_aligned = representation_conditional_entropy(aligned, labels, num_codewords=8)
+        h_noisy = representation_conditional_entropy(noisy, labels, num_codewords=8)
+        assert h_aligned <= h_noisy + 1e-9
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_representation(np.ones(10))

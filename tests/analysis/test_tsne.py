@@ -1,0 +1,80 @@
+"""t-SNE implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import TSNEConfig, pairwise_squared_distances, tsne
+
+
+def two_blobs(n_per: int = 25, gap: float = 10.0, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.5, size=(n_per, 6))
+    b = rng.normal(gap, 0.5, size=(n_per, 6))
+    return np.concatenate([a, b]), np.repeat([0, 1], n_per)
+
+
+class TestPairwiseDistances:
+    def test_matches_naive_computation(self):
+        data = np.random.default_rng(0).normal(size=(8, 3))
+        expected = np.array([[np.sum((x - y) ** 2) for y in data] for x in data])
+        np.testing.assert_allclose(pairwise_squared_distances(data), expected, atol=1e-10)
+
+    def test_diagonal_zero_and_nonnegative(self):
+        data = np.random.default_rng(1).normal(size=(10, 4))
+        distances = pairwise_squared_distances(data)
+        np.testing.assert_allclose(np.diag(distances), 0.0)
+        assert (distances >= 0).all()
+
+
+class TestTsne:
+    def test_output_shape(self):
+        data, _ = two_blobs()
+        embedding = tsne(data, TSNEConfig(n_iterations=60, seed=0))
+        assert embedding.shape == (len(data), 2)
+        assert np.isfinite(embedding).all()
+
+    def test_separates_well_separated_blobs(self):
+        data, labels = two_blobs()
+        embedding = tsne(data, TSNEConfig(n_iterations=200, seed=0))
+        centroid_a = embedding[labels == 0].mean(axis=0)
+        centroid_b = embedding[labels == 1].mean(axis=0)
+        within = np.mean(
+            [np.linalg.norm(embedding[labels == c] - centroid, axis=1).mean()
+             for c, centroid in ((0, centroid_a), (1, centroid_b))]
+        )
+        between = np.linalg.norm(centroid_a - centroid_b)
+        assert between > 2.0 * within
+
+    def test_deterministic_given_seed(self):
+        data, _ = two_blobs(seed=2)
+        a = tsne(data, TSNEConfig(n_iterations=50, seed=3))
+        b = tsne(data, TSNEConfig(n_iterations=50, seed=3))
+        np.testing.assert_allclose(a, b)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            tsne(np.ones((3, 4)))
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            tsne(np.ones(10))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TSNEConfig(perplexity=0.5)
+        with pytest.raises(ValueError):
+            TSNEConfig(n_components=0)
+        with pytest.raises(ValueError):
+            TSNEConfig(n_iterations=0)
+
+    def test_three_component_embedding(self):
+        data, _ = two_blobs(n_per=15)
+        embedding = tsne(data, TSNEConfig(n_components=3, n_iterations=40, seed=0))
+        assert embedding.shape == (30, 3)
+
+    def test_perplexity_clamped_for_small_inputs(self):
+        data = np.random.default_rng(4).normal(size=(10, 5))
+        embedding = tsne(data, TSNEConfig(perplexity=50.0, n_iterations=30, seed=0))
+        assert np.isfinite(embedding).all()

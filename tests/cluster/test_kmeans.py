@@ -1,0 +1,93 @@
+"""K-means clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeansResult, assign_to_centers, kmeans
+
+
+def blobs(k: int = 3, per_cluster: int = 30, spread: float = 0.2, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    centres = rng.normal(0.0, 5.0, size=(k, 4))
+    points = np.concatenate(
+        [centre + spread * rng.normal(size=(per_cluster, 4)) for centre in centres]
+    )
+    labels = np.repeat(np.arange(k), per_cluster)
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        points, truth = blobs()
+        result = kmeans(points, 3, seed=1)
+        # Every predicted cluster should be dominated by a single true label.
+        for cluster in range(3):
+            members = truth[result.labels == cluster]
+            assert len(members) > 0
+            dominant = np.bincount(members).max()
+            assert dominant / len(members) > 0.95
+
+    def test_result_shapes(self):
+        points, _ = blobs()
+        result = kmeans(points, 4, seed=0)
+        assert isinstance(result, KMeansResult)
+        assert result.centers.shape == (4, points.shape[1])
+        assert result.labels.shape == (len(points),)
+        assert result.inertia >= 0
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points, _ = blobs(k=4, per_cluster=25, seed=2)
+        few = kmeans(points, 2, seed=0).inertia
+        many = kmeans(points, 8, seed=0).inertia
+        assert many < few
+
+    def test_deterministic_given_seed(self):
+        points, _ = blobs(seed=3)
+        a = kmeans(points, 3, seed=7)
+        b = kmeans(points, 3, seed=7)
+        np.testing.assert_allclose(a.centers, b.centers)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_k_greater_than_points(self):
+        points = np.random.default_rng(0).normal(size=(5, 3))
+        result = kmeans(points, 10, seed=0)
+        assert result.centers.shape == (10, 3)
+        assert len(np.unique(result.labels)) <= 5
+
+    def test_k_equal_to_points_gives_zero_inertia(self):
+        points = np.random.default_rng(1).normal(size=(6, 2))
+        result = kmeans(points, 6, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-18)
+
+    def test_identical_points(self):
+        points = np.ones((20, 3))
+        result = kmeans(points, 3, seed=0)
+        assert np.isfinite(result.centers).all()
+        assert result.inertia == pytest.approx(0.0, abs=1e-18)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            kmeans(np.ones((5, 2)), 0)
+        with pytest.raises(ValueError):
+            kmeans(np.ones(5), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 3)), 2)
+
+    def test_single_cluster(self):
+        points, _ = blobs()
+        result = kmeans(points, 1, seed=0)
+        np.testing.assert_allclose(result.centers[0], points.mean(axis=0), atol=1e-8)
+
+
+class TestAssignToCenters:
+    def test_assigns_to_nearest(self):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        points = np.array([[1.0, 1.0], [9.0, 9.0], [-2.0, 0.0]])
+        np.testing.assert_array_equal(assign_to_centers(points, centers), [0, 1, 0])
+
+    def test_consistent_with_kmeans_labels(self):
+        points, _ = blobs(seed=5)
+        result = kmeans(points, 3, seed=5)
+        np.testing.assert_array_equal(assign_to_centers(points, result.centers), result.labels)

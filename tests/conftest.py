@@ -1,0 +1,67 @@
+"""Shared fixtures: tiny synthetic datasets, semantic embeddings, backbones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset, SyntheticConfig, generate_dataset
+from repro.data.sampling import BprSampler
+from repro.llm import SemanticEmbeddings, SimulatedLLMEncoder
+from repro.models import LightGCN
+
+
+TINY_CONFIG = SyntheticConfig(
+    name="tiny",
+    num_users=60,
+    num_items=50,
+    num_topics=4,
+    factor_dim=8,
+    interactions_per_user=14.0,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> InteractionDataset:
+    """A ~60-user synthetic dataset shared (read-only) by most tests."""
+    return generate_dataset(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_semantic(tiny_dataset) -> SemanticEmbeddings:
+    """Simulated LLM embeddings matching :func:`tiny_dataset`."""
+    return SimulatedLLMEncoder(embedding_dim=32, hidden_dim=16, seed=3).encode(tiny_dataset)
+
+
+@pytest.fixture()
+def fresh_dataset() -> InteractionDataset:
+    """A new small dataset per test for cases that mutate or rely on metadata."""
+    config = SyntheticConfig(
+        name="fresh",
+        num_users=40,
+        num_items=36,
+        num_topics=3,
+        factor_dim=8,
+        interactions_per_user=10.0,
+        seed=5,
+    )
+    return generate_dataset(config)
+
+
+@pytest.fixture()
+def lightgcn_backbone(tiny_dataset) -> LightGCN:
+    """A small LightGCN backbone on the shared tiny dataset."""
+    return LightGCN(tiny_dataset, embedding_dim=16, num_layers=2, seed=0)
+
+
+@pytest.fixture()
+def bpr_batch(tiny_dataset):
+    """One deterministic BPR batch from the tiny dataset."""
+    sampler = BprSampler(tiny_dataset, batch_size=64, seed=1)
+    return next(iter(sampler.epoch()))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,111 @@
+"""RatingTable and InteractionDataset behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset, RatingTable
+
+
+def small_table() -> RatingTable:
+    return RatingTable(
+        users=[0, 0, 1, 2, 2, 2],
+        items=[0, 1, 1, 0, 2, 3],
+        ratings=[5, 2, 4, 3, 1, 5],
+        num_users=3,
+        num_items=4,
+    )
+
+
+class TestRatingTable:
+    def test_length(self):
+        assert len(small_table()) == 6
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            RatingTable(users=[0, 1], items=[0], ratings=[1, 2], num_users=2, num_items=2)
+
+    def test_out_of_range_user_rejected(self):
+        with pytest.raises(ValueError):
+            RatingTable(users=[5], items=[0], ratings=[3], num_users=3, num_items=4)
+
+    def test_out_of_range_item_rejected(self):
+        with pytest.raises(ValueError):
+            RatingTable(users=[0], items=[9], ratings=[3], num_users=3, num_items=4)
+
+    def test_filter_min_rating(self):
+        filtered = small_table().filter_min_rating(3.0)
+        assert len(filtered) == 4
+        assert (filtered.ratings >= 3.0).all()
+
+    def test_filter_keeps_entity_counts(self):
+        filtered = small_table().filter_min_rating(5.0)
+        assert filtered.num_users == 3 and filtered.num_items == 4
+
+    def test_deduplicate_keeps_highest_rating(self):
+        table = RatingTable(
+            users=[0, 0, 0], items=[1, 1, 2], ratings=[2, 5, 3], num_users=1, num_items=3
+        )
+        deduped = table.deduplicate()
+        assert len(deduped) == 2
+        pair_rating = {(u, i): r for u, i, r in zip(deduped.users, deduped.items, deduped.ratings)}
+        assert pair_rating[(0, 1)] == 5
+
+    def test_empty_table_allowed(self):
+        table = RatingTable(users=[], items=[], ratings=[], num_users=2, num_items=2)
+        assert len(table) == 0
+
+
+def build_dataset() -> InteractionDataset:
+    train = np.array([[0, 0], [0, 1], [1, 1], [2, 2], [2, 3]])
+    valid = np.array([[0, 2], [1, 0]])
+    test = np.array([[2, 0], [1, 3]])
+    return InteractionDataset("toy", num_users=3, num_items=4, train=train, valid=valid, test=test)
+
+
+class TestInteractionDataset:
+    def test_split_shapes_validated(self):
+        with pytest.raises(ValueError):
+            InteractionDataset("bad", 2, 2, train=np.zeros((3, 3)), valid=np.zeros((0, 2)), test=np.zeros((0, 2)))
+
+    def test_empty_split_reshaped(self):
+        dataset = InteractionDataset("empty-valid", 2, 2, train=np.array([[0, 0]]), valid=np.array([]), test=np.array([[1, 1]]))
+        assert dataset.valid.shape == (0, 2)
+
+    def test_train_matrix_binary_and_shape(self):
+        dataset = build_dataset()
+        matrix = dataset.train_matrix
+        assert matrix.shape == (3, 4)
+        assert matrix.nnz == 5
+        assert set(np.unique(matrix.data)) == {1.0}
+
+    def test_user_positives_train(self):
+        dataset = build_dataset()
+        positives = dataset.train_positives
+        np.testing.assert_array_equal(positives[0], [0, 1])
+        np.testing.assert_array_equal(positives[2], [2, 3])
+
+    def test_user_positives_other_split(self):
+        dataset = build_dataset()
+        positives = dataset.user_positives("test")
+        np.testing.assert_array_equal(positives[2], [0])
+
+    def test_num_interactions_and_density(self):
+        dataset = build_dataset()
+        assert dataset.num_interactions == 9
+        assert dataset.density == pytest.approx(9 / 12)
+
+    def test_stats_row(self):
+        row = build_dataset().stats().as_row()
+        assert row["Dataset"] == "toy"
+        assert row["Users"] == 3
+        assert row["Interactions"] == 9
+
+    def test_users_in_split(self):
+        dataset = build_dataset()
+        np.testing.assert_array_equal(dataset.users_in_split("valid"), [0, 1])
+
+    def test_train_positives_cached(self):
+        dataset = build_dataset()
+        assert dataset.train_positives is dataset.train_positives

@@ -1,0 +1,111 @@
+"""Preprocessing: rating filter, k-core, sparse 3:1:1 split, full pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import RatingTable, build_dataset, core_filter, sparse_split
+
+
+def dense_table(num_users: int = 20, num_items: int = 15, per_user: int = 10, seed: int = 0) -> RatingTable:
+    rng = np.random.default_rng(seed)
+    users, items, ratings = [], [], []
+    for user in range(num_users):
+        chosen = rng.choice(num_items, size=per_user, replace=False)
+        users.extend([user] * per_user)
+        items.extend(chosen.tolist())
+        ratings.extend(rng.integers(1, 6, size=per_user).tolist())
+    return RatingTable(users, items, ratings, num_users, num_items)
+
+
+class TestSparseSplit:
+    def test_ratio_roughly_three_one_one(self):
+        table = dense_table()
+        train, valid, test = sparse_split(table, seed=0)
+        total = len(train) + len(valid) + len(test)
+        assert total == len(table)
+        assert 0.5 < len(train) / total < 0.7
+        assert 0.1 < len(valid) / total < 0.3
+        assert 0.1 < len(test) / total < 0.3
+
+    def test_every_user_keeps_training_interactions(self):
+        table = dense_table()
+        train, _, _ = sparse_split(table, seed=1)
+        assert set(np.unique(train[:, 0])) == set(range(20))
+
+    def test_no_pair_duplicated_across_splits(self):
+        table = dense_table(seed=3)
+        train, valid, test = sparse_split(table, seed=3)
+        seen = set()
+        for split in (train, valid, test):
+            for user, item in split:
+                assert (user, item) not in seen
+                seen.add((user, item))
+
+    def test_users_with_few_interactions_stay_in_train(self):
+        table = RatingTable(
+            users=[0, 0, 1], items=[0, 1, 2], ratings=[4, 4, 4], num_users=2, num_items=3
+        )
+        train, valid, test = sparse_split(table)
+        assert len(valid) == 0 and len(test) == 0
+        assert len(train) == 3
+
+    def test_deterministic_given_seed(self):
+        table = dense_table(seed=5)
+        a = sparse_split(table, seed=9)
+        b = sparse_split(table, seed=9)
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
+
+    def test_different_seed_changes_assignment(self):
+        table = dense_table(seed=5)
+        a_train, _, _ = sparse_split(table, seed=1)
+        b_train, _, _ = sparse_split(table, seed=2)
+        assert not np.array_equal(np.sort(a_train.view("i8,i8"), order=["f0", "f1"]),
+                                  np.sort(b_train.view("i8,i8"), order=["f0", "f1"])) or len(a_train) == 0
+
+
+class TestCoreFilter:
+    def test_low_degree_entities_removed(self):
+        # item 4 appears once; user 3 appears once.
+        table = RatingTable(
+            users=[0, 0, 0, 1, 1, 1, 2, 2, 2, 3],
+            items=[0, 1, 2, 0, 1, 2, 0, 1, 2, 4],
+            ratings=[4] * 10,
+            num_users=4,
+            num_items=5,
+        )
+        filtered = core_filter(table, min_user_degree=2, min_item_degree=2)
+        assert 3 not in filtered.users
+        assert 4 not in filtered.items
+
+    def test_already_dense_table_unchanged(self):
+        table = dense_table(per_user=10)
+        filtered = core_filter(table, min_user_degree=2, min_item_degree=2)
+        assert len(filtered) == len(table)
+
+
+class TestBuildDataset:
+    def test_pipeline_filters_low_ratings(self):
+        table = dense_table(seed=7)
+        dataset = build_dataset(table, name="pipeline", min_rating=3.0, seed=7)
+        kept = int(np.sum(table.ratings >= 3.0))
+        assert dataset.num_interactions <= kept
+        assert dataset.name == "pipeline"
+
+    def test_metadata_attached(self):
+        table = dense_table(seed=8)
+        dataset = build_dataset(table, name="meta", metadata={"flag": 1})
+        assert dataset.metadata["flag"] == 1
+
+    def test_threshold_five_keeps_only_top_ratings(self):
+        table = dense_table(seed=9)
+        dataset = build_dataset(table, name="strict", min_rating=5.0)
+        assert dataset.num_interactions == int(np.sum(table.ratings == 5.0))
+
+    def test_dataset_dimensions_preserved(self):
+        table = dense_table()
+        dataset = build_dataset(table, name="dims")
+        assert dataset.num_users == table.num_users
+        assert dataset.num_items == table.num_items

@@ -1,0 +1,52 @@
+"""Templated user/item profile generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    InteractionDataset,
+    TOPIC_VOCABULARY,
+    build_item_profiles,
+    build_profiles,
+    build_user_profiles,
+)
+
+
+class TestProfiles:
+    def test_one_profile_per_entity(self, tiny_dataset):
+        users, items = build_profiles(tiny_dataset)
+        assert len(users) == tiny_dataset.num_users
+        assert len(items) == tiny_dataset.num_items
+
+    def test_profiles_mention_topic_phrases(self, tiny_dataset):
+        users, items = build_profiles(tiny_dataset)
+        assert any(any(phrase in profile for phrase in TOPIC_VOCABULARY) for profile in users)
+        assert all(any(phrase in profile for phrase in TOPIC_VOCABULARY) for profile in items)
+
+    def test_user_profile_mentions_interaction_count(self, tiny_dataset):
+        profiles = build_user_profiles(tiny_dataset)
+        count = len(tiny_dataset.train_positives.get(0, ()))
+        assert f"({count} recorded interactions)" in profiles[0]
+
+    def test_same_topic_users_share_phrase(self, tiny_dataset):
+        clusters = np.asarray(tiny_dataset.metadata["user_clusters"])
+        profiles = build_user_profiles(tiny_dataset)
+        same_topic = np.where(clusters == clusters[0])[0]
+        phrase = TOPIC_VOCABULARY[int(clusters[0]) % len(TOPIC_VOCABULARY)]
+        assert all(phrase in profiles[user] for user in same_topic)
+
+    def test_missing_metadata_raises(self):
+        dataset = InteractionDataset(
+            "bare",
+            num_users=3,
+            num_items=3,
+            train=np.array([[0, 0]]),
+            valid=np.empty((0, 2)),
+            test=np.empty((0, 2)),
+        )
+        with pytest.raises(KeyError):
+            build_user_profiles(dataset)
+        with pytest.raises(KeyError):
+            build_item_profiles(dataset)

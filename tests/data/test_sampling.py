@@ -1,0 +1,78 @@
+"""BPR sampler and N̂ instance sub-sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import BprSampler, UniformPairSampler, sample_instances
+
+
+class TestBprSampler:
+    def test_epoch_covers_all_interactions(self, tiny_dataset):
+        sampler = BprSampler(tiny_dataset, batch_size=128, seed=0)
+        total = sum(len(batch) for batch in sampler.epoch())
+        assert total == len(tiny_dataset.train)
+
+    def test_batch_arrays_aligned(self, tiny_dataset):
+        sampler = BprSampler(tiny_dataset, batch_size=64, seed=0)
+        batch = next(iter(sampler.epoch()))
+        assert len(batch.users) == len(batch.pos_items) == len(batch.neg_items)
+
+    def test_positive_items_are_true_positives(self, tiny_dataset):
+        sampler = BprSampler(tiny_dataset, batch_size=256, seed=1)
+        positives = tiny_dataset.train_positives
+        for batch in sampler.epoch():
+            for user, item in zip(batch.users, batch.pos_items):
+                assert item in positives[int(user)]
+            break
+
+    def test_negative_items_avoid_positives(self, tiny_dataset):
+        sampler = BprSampler(tiny_dataset, batch_size=256, seed=2)
+        positives = tiny_dataset.train_positives
+        collisions = 0
+        for batch in sampler.epoch():
+            for user, item in zip(batch.users, batch.neg_items):
+                if item in positives[int(user)]:
+                    collisions += 1
+        assert collisions == 0
+
+    def test_len_matches_number_of_batches(self, tiny_dataset):
+        sampler = BprSampler(tiny_dataset, batch_size=100, seed=0)
+        assert len(sampler) == len(list(sampler.epoch()))
+
+    def test_invalid_batch_size(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            BprSampler(tiny_dataset, batch_size=0)
+
+    def test_shuffling_differs_between_epochs(self, tiny_dataset):
+        sampler = BprSampler(tiny_dataset, batch_size=len(tiny_dataset.train), seed=3)
+        first = next(iter(sampler.epoch())).users.copy()
+        second = next(iter(sampler.epoch())).users.copy()
+        assert not np.array_equal(first, second)
+
+
+class TestUniformPairSampler:
+    def test_ranges(self, tiny_dataset):
+        sampler = UniformPairSampler(tiny_dataset, seed=0)
+        users, items = sampler.sample(500)
+        assert users.min() >= 0 and users.max() < tiny_dataset.num_users
+        assert items.min() >= 0 and items.max() < tiny_dataset.num_items
+        assert len(users) == len(items) == 500
+
+
+class TestSampleInstances:
+    def test_returns_all_when_sample_exceeds_population(self, rng):
+        np.testing.assert_array_equal(sample_instances(10, 50, rng), np.arange(10))
+
+    def test_subsample_size_and_uniqueness(self, rng):
+        sample = sample_instances(100, 30, rng)
+        assert len(sample) == 30
+        assert len(np.unique(sample)) == 30
+        assert sample.max() < 100
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            sample_instances(0, 10, rng)
+        with pytest.raises(ValueError):
+            sample_instances(10, 0, rng)

@@ -1,0 +1,123 @@
+"""Synthetic benchmark generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BENCHMARKS,
+    SyntheticConfig,
+    amazon_book_config,
+    generate_dataset,
+    generate_rating_table,
+    load_benchmark,
+    steam_config,
+    yelp_config,
+)
+
+
+class TestSyntheticConfig:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_users=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_topics=1)
+        with pytest.raises(ValueError):
+            SyntheticConfig(interactions_per_user=0)
+
+    def test_scaled_changes_counts_only(self):
+        config = SyntheticConfig(num_users=100, num_items=80)
+        scaled = config.scaled(0.5)
+        assert scaled.num_users == 50 and scaled.num_items == 40
+        assert scaled.num_topics == config.num_topics
+
+    def test_scaled_floor(self):
+        config = SyntheticConfig(num_users=100, num_items=80)
+        tiny = config.scaled(0.01)
+        assert tiny.num_users >= 20 and tiny.num_items >= 20
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig().scaled(0.0)
+
+
+class TestGenerateRatingTable:
+    def test_basic_shape_and_ranges(self):
+        config = SyntheticConfig(num_users=50, num_items=40, seed=1)
+        table, metadata = generate_rating_table(config)
+        assert table.num_users == 50 and table.num_items == 40
+        assert table.ratings.min() >= 1 and table.ratings.max() <= 5
+        assert metadata["user_factors"].shape == (50, config.factor_dim)
+        assert metadata["item_factors"].shape == (40, config.factor_dim)
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticConfig(num_users=30, num_items=25, seed=4)
+        table_a, _ = generate_rating_table(config)
+        table_b, _ = generate_rating_table(config)
+        np.testing.assert_array_equal(table_a.users, table_b.users)
+        np.testing.assert_array_equal(table_a.items, table_b.items)
+        np.testing.assert_array_equal(table_a.ratings, table_b.ratings)
+
+    def test_different_seeds_differ(self):
+        table_a, _ = generate_rating_table(SyntheticConfig(num_users=30, num_items=25, seed=1))
+        table_b, _ = generate_rating_table(SyntheticConfig(num_users=30, num_items=25, seed=2))
+        assert not np.array_equal(table_a.items, table_b.items)
+
+    def test_affinity_drives_ratings(self):
+        """Interactions with items of the user's own topic should rate higher on average."""
+        config = SyntheticConfig(num_users=120, num_items=90, num_topics=4, seed=6, rating_noise=0.3)
+        table, metadata = generate_rating_table(config)
+        user_topics = metadata["user_clusters"][table.users]
+        item_topics = metadata["item_clusters"][table.items]
+        same = table.ratings[user_topics == item_topics]
+        different = table.ratings[user_topics != item_topics]
+        assert same.mean() > different.mean()
+
+    def test_popularity_skew_present(self):
+        config = SyntheticConfig(num_users=150, num_items=100, seed=7, popularity_weight=0.6)
+        table, _ = generate_rating_table(config)
+        counts = np.bincount(table.items, minlength=100)
+        top_decile = np.sort(counts)[-10:].sum()
+        assert top_decile > counts.sum() * 0.15
+
+
+class TestGenerateDataset:
+    def test_splits_present_and_metadata_preserved(self):
+        dataset = generate_dataset(SyntheticConfig(num_users=60, num_items=50, seed=2))
+        assert len(dataset.train) > 0
+        assert len(dataset.valid) > 0
+        assert len(dataset.test) > 0
+        assert "user_clusters" in dataset.metadata
+        assert "config" in dataset.metadata
+
+    def test_min_rating_respected(self):
+        lenient = generate_dataset(SyntheticConfig(num_users=60, num_items=50, seed=2), min_rating=1.0)
+        strict = generate_dataset(SyntheticConfig(num_users=60, num_items=50, seed=2), min_rating=4.0)
+        assert strict.num_interactions < lenient.num_interactions
+
+
+class TestBenchmarkPresets:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_load_benchmark_small_scale(self, name):
+        dataset = load_benchmark(name, scale=0.15)
+        assert dataset.name == name
+        assert dataset.num_users >= 20
+        assert dataset.num_interactions > 0
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            load_benchmark("movielens")
+
+    def test_presets_have_distinct_shapes(self):
+        amazon = amazon_book_config()
+        yelp = yelp_config()
+        steam = steam_config()
+        # Steam has the most users per item, mirroring the paper's Table II shape.
+        assert steam.num_users / steam.num_items > amazon.num_users / amazon.num_items
+        assert yelp.num_items >= amazon.num_items
+
+    def test_custom_seed_passthrough(self):
+        a = load_benchmark("yelp", scale=0.15, seed=1)
+        b = load_benchmark("yelp", scale=0.15, seed=2)
+        assert not np.array_equal(a.train, b.train)

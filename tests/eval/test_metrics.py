@@ -1,0 +1,101 @@
+"""Ranking metric unit tests with hand-computed expectations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    hit_rate_at_k,
+    mrr_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    rank_metrics,
+    recall_at_k,
+)
+
+RECOMMENDED = np.array([7, 3, 9, 1, 5])
+
+
+class TestRecall:
+    def test_perfect_recall(self):
+        assert recall_at_k(RECOMMENDED, np.array([7, 3]), 5) == 1.0
+
+    def test_partial_recall(self):
+        assert recall_at_k(RECOMMENDED, np.array([7, 100]), 5) == 0.5
+
+    def test_zero_recall(self):
+        assert recall_at_k(RECOMMENDED, np.array([100, 200]), 5) == 0.0
+
+    def test_cutoff_respected(self):
+        # item 9 is at position 3, so k=2 misses it.
+        assert recall_at_k(RECOMMENDED, np.array([9]), 2) == 0.0
+        assert recall_at_k(RECOMMENDED, np.array([9]), 3) == 1.0
+
+    def test_empty_relevant_set(self):
+        assert recall_at_k(RECOMMENDED, np.array([]), 5) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k(RECOMMENDED, np.array([1]), 0)
+
+
+class TestPrecisionHitMrr:
+    def test_precision(self):
+        assert precision_at_k(RECOMMENDED, np.array([7, 9]), 5) == pytest.approx(0.4)
+
+    def test_precision_uses_k_as_denominator(self):
+        assert precision_at_k(RECOMMENDED, np.array([7]), 2) == pytest.approx(0.5)
+
+    def test_hit_rate(self):
+        assert hit_rate_at_k(RECOMMENDED, np.array([5]), 5) == 1.0
+        assert hit_rate_at_k(RECOMMENDED, np.array([5]), 4) == 0.0
+
+    def test_mrr_first_position(self):
+        assert mrr_at_k(RECOMMENDED, np.array([7]), 5) == 1.0
+
+    def test_mrr_third_position(self):
+        assert mrr_at_k(RECOMMENDED, np.array([9]), 5) == pytest.approx(1.0 / 3.0)
+
+    def test_mrr_miss(self):
+        assert mrr_at_k(RECOMMENDED, np.array([42]), 5) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg_at_k(np.array([1, 2, 3]), np.array([1, 2, 3]), 3) == pytest.approx(1.0)
+
+    def test_single_relevant_at_second_position(self):
+        value = ndcg_at_k(np.array([9, 1, 8]), np.array([1]), 3)
+        assert value == pytest.approx(1.0 / np.log2(3.0))
+
+    def test_order_matters(self):
+        early = ndcg_at_k(np.array([1, 2, 3, 4]), np.array([1]), 4)
+        late = ndcg_at_k(np.array([4, 3, 2, 1]), np.array([1]), 4)
+        assert early > late
+
+    def test_ndcg_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            recommended = rng.permutation(50)[:10]
+            relevant = rng.choice(50, size=5, replace=False)
+            value = ndcg_at_k(recommended, relevant, 10)
+            assert 0.0 <= value <= 1.0
+
+    def test_idcg_uses_min_of_relevant_and_k(self):
+        # Two relevant items but k=1: ideal DCG only counts one hit.
+        assert ndcg_at_k(np.array([1]), np.array([1, 2]), 1) == pytest.approx(1.0)
+
+
+class TestRankMetricsBundle:
+    def test_contains_all_keys(self):
+        metrics = rank_metrics(RECOMMENDED, np.array([7]), ks=(2, 5))
+        for k in (2, 5):
+            for name in ("recall", "ndcg", "precision", "hit", "mrr"):
+                assert f"{name}@{k}" in metrics
+
+    def test_values_consistent_with_individual_functions(self):
+        relevant = np.array([3, 5])
+        metrics = rank_metrics(RECOMMENDED, relevant, ks=(5,))
+        assert metrics["recall@5"] == recall_at_k(RECOMMENDED, relevant, 5)
+        assert metrics["ndcg@5"] == ndcg_at_k(RECOMMENDED, relevant, 5)

@@ -1,0 +1,77 @@
+"""Paired significance tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import compare_results, paired_t_test, permutation_test
+
+
+class TestPairedTTest:
+    def test_clear_improvement_is_significant(self):
+        rng = np.random.default_rng(0)
+        control = rng.normal(0.5, 0.05, size=200)
+        treatment = control + 0.05
+        result = paired_t_test(treatment, control)
+        assert result.significant
+        assert result.improved
+        assert result.mean_difference == pytest.approx(0.05)
+
+    def test_identical_samples_not_significant(self):
+        values = np.random.default_rng(1).normal(size=50)
+        result = paired_t_test(values, values.copy())
+        assert not result.significant
+        assert result.p_value == 1.0
+
+    def test_pure_noise_rarely_significant(self):
+        rng = np.random.default_rng(2)
+        control = rng.normal(size=100)
+        treatment = control + rng.normal(0, 1e-3, size=100) * 0  # exactly equal
+        assert not paired_t_test(treatment, control).significant
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_t_test(np.ones(5), np.ones(6))
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError):
+            paired_t_test(np.ones(1), np.ones(1))
+
+    def test_degradation_detected_as_not_improved(self):
+        rng = np.random.default_rng(3)
+        control = rng.normal(0.5, 0.05, size=200)
+        treatment = control - 0.05
+        result = paired_t_test(treatment, control)
+        assert result.significant and not result.improved
+
+
+class TestPermutationTest:
+    def test_detects_shift(self):
+        rng = np.random.default_rng(4)
+        control = rng.normal(0.0, 0.1, size=60)
+        treatment = control + 0.2
+        assert permutation_test(treatment, control, num_permutations=500).significant
+
+    def test_no_shift_not_significant(self):
+        rng = np.random.default_rng(5)
+        control = rng.normal(size=60)
+        treatment = control + rng.normal(0, 1e-12, size=60)
+        assert not permutation_test(treatment, control, num_permutations=500).significant
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            permutation_test(np.ones(4), np.ones(5))
+
+
+class TestCompareResults:
+    def test_compares_named_metric(self):
+        rng = np.random.default_rng(6)
+        control = {"recall@20": rng.normal(0.4, 0.05, size=100)}
+        treatment = {"recall@20": control["recall@20"] + 0.1}
+        result = compare_results(treatment, control, "recall@20")
+        assert result.improved
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(KeyError):
+            compare_results({}, {}, "recall@20")

@@ -1,0 +1,68 @@
+"""CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_parses_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig4", "--epochs", "3", "--dataset-scale", "0.2", "--seed", "7"]
+        )
+        assert args.experiment == "fig4"
+        assert args.epochs == 3
+        assert args.dataset_scale == pytest.approx(0.2)
+        assert args.seed == 7
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for identifier in ("table2", "table3", "fig4", "fig8", "theorems"):
+            assert identifier in output
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--scale", "0.15"]) == 0
+        output = capsys.readouterr().out
+        for name in ("amazon-book", "yelp", "steam"):
+            assert name in output
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2", "--dataset-scale", "0.15", "--epochs", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Dataset summary" in output or "Table II" in output
+
+    def test_run_fig7_small(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "fig7",
+                "--dataset-scale",
+                "0.12",
+                "--epochs",
+                "1",
+                "--embedding-dim",
+                "8",
+                "--llm-dim",
+                "16",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "recall@10" in output

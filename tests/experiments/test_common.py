@@ -1,0 +1,97 @@
+"""Experiment plumbing: scale handling, variant construction, single runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align import DaRec, KAR, RLMRecContrastive, RLMRecGenerative
+from repro.experiments import (
+    ExperimentScale,
+    VARIANTS,
+    build_dataset_and_semantics,
+    build_variant,
+    make_backbone,
+    run_single,
+    train_and_evaluate,
+)
+
+FAST = ExperimentScale(dataset_scale=0.15, embedding_dim=8, epochs=1, darec_sample_size=32, llm_dim=16)
+
+
+class TestExperimentScale:
+    def test_smaller_overrides_fields(self):
+        scale = ExperimentScale().smaller(epochs=1, embedding_dim=8)
+        assert scale.epochs == 1 and scale.embedding_dim == 8
+        assert scale.dataset_scale == ExperimentScale().dataset_scale
+
+    def test_variants_constant(self):
+        assert set(VARIANTS) == {"baseline", "rlmrec-con", "rlmrec-gen", "kar", "darec"}
+
+
+class TestBuilders:
+    def test_dataset_and_semantics_consistent(self):
+        dataset, semantic = build_dataset_and_semantics("amazon-book", FAST)
+        assert semantic.num_users == dataset.num_users
+        assert semantic.num_items == dataset.num_items
+        assert semantic.dim == FAST.llm_dim
+
+    def test_make_backbone_graph_and_mf(self):
+        dataset, _ = build_dataset_and_semantics("yelp", FAST)
+        graph_model = make_backbone("lightgcn", dataset, FAST)
+        assert graph_model.num_layers == FAST.num_layers
+        mf_model = make_backbone("bpr-mf", dataset, FAST)
+        assert mf_model.embedding_dim == FAST.embedding_dim
+
+    @pytest.mark.parametrize(
+        "variant, expected",
+        [
+            ("baseline", type(None)),
+            ("rlmrec-con", RLMRecContrastive),
+            ("rlmrec-gen", RLMRecGenerative),
+            ("kar", KAR),
+            ("darec", DaRec),
+        ],
+    )
+    def test_build_variant_types(self, variant, expected):
+        dataset, semantic = build_dataset_and_semantics("steam", FAST)
+        backbone = make_backbone("lightgcn", dataset, FAST)
+        module = build_variant(variant, backbone, semantic, FAST)
+        assert isinstance(module, expected)
+
+    def test_unknown_variant_rejected(self):
+        dataset, semantic = build_dataset_and_semantics("steam", FAST)
+        backbone = make_backbone("lightgcn", dataset, FAST)
+        with pytest.raises(KeyError):
+            build_variant("ctrl", backbone, semantic, FAST)
+
+    def test_darec_config_respects_scale(self):
+        dataset, semantic = build_dataset_and_semantics("amazon-book", FAST)
+        backbone = make_backbone("lightgcn", dataset, FAST)
+        module = build_variant("darec", backbone, semantic, FAST)
+        assert module.config.sample_size == FAST.darec_sample_size
+        assert module.config.num_centers == FAST.darec_num_centers
+
+
+class TestRunners:
+    def test_train_and_evaluate_returns_metrics(self):
+        dataset, semantic = build_dataset_and_semantics("amazon-book", FAST)
+        backbone = make_backbone("lightgcn", dataset, FAST)
+        model, result = train_and_evaluate(backbone, None, dataset, FAST)
+        assert set(result.metrics) == {f"{m}@{k}" for m in ("recall", "ndcg") for k in (5, 10, 20)}
+        assert model.score_all().shape == (dataset.num_users, dataset.num_items)
+
+    def test_run_single_baseline_and_darec(self):
+        _, baseline = run_single("lightgcn", "baseline", "amazon-book", scale=FAST)
+        _, darec = run_single("lightgcn", "darec", "amazon-book", scale=FAST)
+        for result in (baseline, darec):
+            assert all(0.0 <= v <= 1.0 for v in result.metrics.values())
+
+    def test_run_single_custom_trade_off(self):
+        _, result = run_single("lightgcn", "darec", "yelp", scale=FAST, trade_off=0.5)
+        assert np.isfinite(list(result.metrics.values())).all()
+
+    def test_metrics_are_deterministic_for_fixed_scale(self):
+        _, a = run_single("lightgcn", "baseline", "steam", scale=FAST)
+        _, b = run_single("lightgcn", "baseline", "steam", scale=FAST)
+        assert a.metrics == b.metrics

@@ -1,0 +1,32 @@
+"""Experiment registry completeness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, list_experiments
+
+
+class TestRegistry:
+    def test_every_paper_artefact_registered(self):
+        expected = {"table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "theorems"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_descriptors_complete(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.identifier
+            assert experiment.artefact
+            assert experiment.description
+            assert callable(experiment.runner)
+
+    def test_get_experiment_case_insensitive(self):
+        assert get_experiment("TABLE3").identifier == "table3"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+    def test_list_experiments_sorted(self):
+        listed = list_experiments()
+        assert listed == sorted(listed)
+        assert "fig6" in listed

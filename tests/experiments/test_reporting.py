@@ -1,0 +1,62 @@
+"""Reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table, metric_columns, print_table, relative_improvement
+
+
+class TestRelativeImprovement:
+    def test_positive_improvement(self):
+        assert relative_improvement(0.11, 0.10) == pytest.approx(10.0)
+
+    def test_negative_improvement(self):
+        assert relative_improvement(0.09, 0.10) == pytest.approx(-10.0)
+
+    def test_zero_baseline(self):
+        assert relative_improvement(0.0, 0.0) == 0.0
+        assert relative_improvement(0.5, 0.0) == float("inf")
+
+
+class TestMetricColumns:
+    def test_default_columns(self):
+        columns = metric_columns()
+        assert columns == [
+            "recall@5",
+            "recall@10",
+            "recall@20",
+            "ndcg@5",
+            "ndcg@10",
+            "ndcg@20",
+        ]
+
+    def test_custom_ks(self):
+        assert metric_columns((1,)) == ["recall@1", "ndcg@1"]
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_contains_headers_and_values(self):
+        rows = [{"model": "darec", "recall@20": 0.1234567}, {"model": "baseline", "recall@20": 0.1}]
+        text = format_table(rows, precision=4)
+        assert "model" in text and "recall@20" in text
+        assert "0.1235" in text
+        assert text.count("\n") >= 3
+
+    def test_missing_cells_rendered_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert "3" in text
+
+    def test_explicit_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_print_table_writes_title(self, capsys):
+        print_table([{"a": 1}], title="Demo Table")
+        captured = capsys.readouterr().out
+        assert "Demo Table" in captured and "a" in captured

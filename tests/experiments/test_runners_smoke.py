@@ -1,0 +1,103 @@
+"""Smoke tests: every experiment runner produces well-formed rows at tiny scale.
+
+These are integration tests across the whole stack (data → LLM simulation →
+backbone → alignment → training → evaluation → reporting); the benchmark
+harness under ``benchmarks/`` runs the same code at a slightly larger scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ABLATION_SETTINGS,
+    ExperimentScale,
+    run_fig3_ablation,
+    run_fig4_k,
+    run_fig5_lambda,
+    run_fig6_tsne,
+    run_fig7_sampling,
+    run_fig8_case_study,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_theorem_checks,
+)
+
+SMOKE = ExperimentScale(
+    dataset_scale=0.12,
+    embedding_dim=8,
+    llm_dim=16,
+    epochs=1,
+    darec_sample_size=32,
+    darec_shared_dim=8,
+)
+
+
+class TestTableRunners:
+    def test_table2_rows(self):
+        rows = run_table2(scale=SMOKE)
+        assert {row["Dataset"] for row in rows} == {"amazon-book", "yelp", "steam"}
+        for row in rows:
+            assert row["Interactions"] > 0
+            assert 0 < row["Density"] < 1
+
+    def test_table3_single_cell(self):
+        rows = run_table3(backbones=("lightgcn",), datasets=("amazon-book",), scale=SMOKE)
+        variants = {row["variant"] for row in rows}
+        assert variants == {"baseline", "rlmrec-con", "rlmrec-gen", "darec", "improvement-%"}
+        metric_rows = [row for row in rows if row["variant"] != "improvement-%"]
+        for row in metric_rows:
+            assert 0.0 <= row["recall@20"] <= 1.0
+
+    def test_table4_includes_kar(self):
+        rows = run_table4(backbones=("lightgcn",), datasets=("yelp",), scale=SMOKE)
+        assert {row["variant"] for row in rows} == {"baseline", "rlmrec-con", "rlmrec-gen", "kar", "darec"}
+        for row in rows:
+            assert "recall@20" in row and "ndcg@20" in row
+
+
+class TestFigureRunners:
+    def test_fig3_ablation_settings(self):
+        settings = {"full": (), "(w/o) glo": ("global",)}
+        rows = run_fig3_ablation(
+            backbones=("lightgcn",), datasets=("amazon-book",), scale=SMOKE, settings=settings
+        )
+        assert {row["setting"] for row in rows} == set(settings)
+
+    def test_fig3_default_settings_cover_all_losses(self):
+        assert set(ABLATION_SETTINGS) == {"full", "(w/o) or", "(w/o) uni", "(w/o) glo", "(w/o) loc"}
+
+    def test_fig4_k_sweep(self):
+        rows = run_fig4_k(backbones=("lightgcn",), datasets=("amazon-book",), k_values=(2, 4), scale=SMOKE)
+        assert {row["K"] for row in rows} == {2, 4}
+
+    def test_fig5_lambda_sweep(self):
+        rows = run_fig5_lambda(backbones=("sgl",), datasets=("yelp",), lambdas=(0.1, 1.0), scale=SMOKE)
+        assert {row["lambda"] for row in rows} == {0.1, 1.0}
+
+    def test_fig7_sampling_sweep(self):
+        rows = run_fig7_sampling(datasets=("amazon-book",), sample_sizes=(16, 32), scale=SMOKE)
+        assert {row["sample_size"] for row in rows} == {16, 32}
+
+    def test_fig6_tsne_quality_rows(self):
+        rows = run_fig6_tsne(dataset_name="steam", scale=SMOKE, max_points=40, tsne_iterations=30)
+        assert {row["side"] for row in rows} == {"collaborative", "llm"}
+        for row in rows:
+            assert row["purity"] > 0
+            assert np.isfinite(row["separation_ratio"])
+
+    def test_fig8_case_study_rows(self):
+        rows = run_fig8_case_study(dataset_name="yelp", scale=SMOKE, min_hops=4, max_pairs=3)
+        assert {row["variant"] for row in rows} <= {"baseline", "rlmrec-con", "darec"}
+        for row in rows:
+            assert row["num_pairs"] >= 1
+            assert row["mean_rank"] >= 1
+
+    def test_theorem_checks_rows(self):
+        rows = run_theorem_checks(scale=SMOKE, num_codewords=6)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["mutual_information"] >= 0
+            assert row["conditional_entropy"] >= 0

@@ -1,0 +1,57 @@
+"""Adjacency construction and symmetric normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph import build_interaction_matrix, build_normalized_adjacency, symmetric_normalize
+
+
+class TestSymmetricNormalize:
+    def test_row_sums_bounded_by_one(self):
+        matrix = sp.csr_matrix(np.array([[0, 1, 1], [1, 0, 0], [1, 0, 0]], dtype=float))
+        normalised = symmetric_normalize(matrix).toarray()
+        assert normalised.max() <= 1.0 + 1e-12
+        # Symmetric input stays symmetric.
+        np.testing.assert_allclose(normalised, normalised.T, atol=1e-12)
+
+    def test_zero_degree_rows_stay_zero(self):
+        matrix = sp.csr_matrix(np.array([[0, 0], [0, 1]], dtype=float))
+        normalised = symmetric_normalize(matrix).toarray()
+        np.testing.assert_allclose(normalised[0], [0.0, 0.0])
+
+    def test_matches_manual_formula(self):
+        dense = np.array([[0, 1], [1, 1]], dtype=float)
+        degrees = dense.sum(axis=1)
+        expected = np.diag(1 / np.sqrt(degrees)) @ dense @ np.diag(1 / np.sqrt(degrees))
+        np.testing.assert_allclose(symmetric_normalize(sp.csr_matrix(dense)).toarray(), expected)
+
+
+class TestBuildNormalizedAdjacency:
+    def test_shape_is_joint_graph(self, tiny_dataset):
+        adjacency = build_normalized_adjacency(tiny_dataset)
+        n = tiny_dataset.num_users + tiny_dataset.num_items
+        assert adjacency.shape == (n, n)
+
+    def test_bipartite_blocks_are_zero(self, tiny_dataset):
+        adjacency = build_normalized_adjacency(tiny_dataset).toarray()
+        nu = tiny_dataset.num_users
+        assert np.allclose(adjacency[:nu, :nu], 0.0)
+        assert np.allclose(adjacency[nu:, nu:], 0.0)
+
+    def test_symmetry(self, tiny_dataset):
+        adjacency = build_normalized_adjacency(tiny_dataset).toarray()
+        np.testing.assert_allclose(adjacency, adjacency.T, atol=1e-12)
+
+    def test_self_loops_option(self, tiny_dataset):
+        adjacency = build_normalized_adjacency(tiny_dataset, add_self_loops=True).toarray()
+        assert np.all(np.diag(adjacency) > 0)
+
+    def test_interaction_matrix_is_train_matrix(self, tiny_dataset):
+        assert build_interaction_matrix(tiny_dataset).nnz == tiny_dataset.train_matrix.nnz
+
+    def test_custom_interaction_matrix(self, tiny_dataset):
+        empty = sp.csr_matrix((tiny_dataset.num_users, tiny_dataset.num_items))
+        adjacency = build_normalized_adjacency(tiny_dataset, interaction_matrix=empty)
+        assert adjacency.nnz == 0

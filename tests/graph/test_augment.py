@@ -1,0 +1,65 @@
+"""Graph augmentation views for SGL / AutoCF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import edge_dropout_view, masked_interaction_matrix, node_dropout_view
+
+
+class TestEdgeDropout:
+    def test_dropout_reduces_edges(self, tiny_dataset, rng):
+        full_nnz = tiny_dataset.train_matrix.nnz
+        view = edge_dropout_view(tiny_dataset, drop_rate=0.5, rng=rng)
+        # The adjacency is the joint graph: each kept interaction contributes two entries.
+        assert view.nnz < 2 * full_nnz
+        assert view.nnz > 0
+
+    def test_zero_dropout_keeps_everything(self, tiny_dataset, rng):
+        view = edge_dropout_view(tiny_dataset, drop_rate=0.0, rng=rng)
+        assert view.nnz == 2 * tiny_dataset.train_matrix.nnz
+
+    def test_invalid_rate(self, tiny_dataset, rng):
+        with pytest.raises(ValueError):
+            edge_dropout_view(tiny_dataset, drop_rate=1.0, rng=rng)
+
+    def test_views_differ_between_draws(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        a = edge_dropout_view(tiny_dataset, 0.3, rng)
+        b = edge_dropout_view(tiny_dataset, 0.3, rng)
+        assert (a != b).nnz > 0
+
+
+class TestNodeDropout:
+    def test_dropout_reduces_edges(self, tiny_dataset, rng):
+        view = node_dropout_view(tiny_dataset, drop_rate=0.3, rng=rng)
+        assert 0 < view.nnz <= 2 * tiny_dataset.train_matrix.nnz
+
+    def test_invalid_rate(self, tiny_dataset, rng):
+        with pytest.raises(ValueError):
+            node_dropout_view(tiny_dataset, drop_rate=-0.1, rng=rng)
+
+
+class TestMaskedInteractionMatrix:
+    def test_masked_plus_kept_equals_total(self, tiny_dataset, rng):
+        reduced, masked_pairs = masked_interaction_matrix(tiny_dataset, mask_rate=0.25, rng=rng)
+        assert reduced.nnz + len(masked_pairs) == tiny_dataset.train_matrix.nnz
+
+    def test_masked_pairs_are_real_interactions(self, tiny_dataset, rng):
+        _, masked_pairs = masked_interaction_matrix(tiny_dataset, mask_rate=0.25, rng=rng)
+        positives = tiny_dataset.train_positives
+        for user, item in masked_pairs[:50]:
+            assert item in positives[int(user)]
+
+    def test_mask_rate_bounds(self, tiny_dataset, rng):
+        with pytest.raises(ValueError):
+            masked_interaction_matrix(tiny_dataset, mask_rate=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            masked_interaction_matrix(tiny_dataset, mask_rate=1.0, rng=rng)
+
+    def test_roughly_mask_rate_fraction_masked(self, tiny_dataset):
+        rng = np.random.default_rng(1)
+        _, masked_pairs = masked_interaction_matrix(tiny_dataset, mask_rate=0.3, rng=rng)
+        fraction = len(masked_pairs) / tiny_dataset.train_matrix.nnz
+        assert 0.2 < fraction < 0.4

@@ -1,0 +1,115 @@
+"""Simulated LLM encoders: shapes, determinism, semantic signal, fallbacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+from repro.llm import CachedProvider, HashingTextEncoder, SimulatedLLMEncoder
+
+
+class TestSimulatedLLMEncoder:
+    def test_shapes_and_unit_norm(self, tiny_dataset):
+        embeddings = SimulatedLLMEncoder(embedding_dim=48, seed=0).encode(tiny_dataset)
+        assert embeddings.user_embeddings.shape == (tiny_dataset.num_users, 48)
+        assert embeddings.item_embeddings.shape == (tiny_dataset.num_items, 48)
+        np.testing.assert_allclose(np.linalg.norm(embeddings.user_embeddings, axis=1), 1.0, atol=1e-9)
+
+    def test_deterministic(self, tiny_dataset):
+        a = SimulatedLLMEncoder(embedding_dim=32, seed=5).encode(tiny_dataset)
+        b = SimulatedLLMEncoder(embedding_dim=32, seed=5).encode(tiny_dataset)
+        np.testing.assert_array_equal(a.user_embeddings, b.user_embeddings)
+
+    def test_seed_changes_embeddings(self, tiny_dataset):
+        a = SimulatedLLMEncoder(embedding_dim=32, seed=1).encode(tiny_dataset)
+        b = SimulatedLLMEncoder(embedding_dim=32, seed=2).encode(tiny_dataset)
+        assert not np.allclose(a.user_embeddings, b.user_embeddings)
+
+    def test_semantic_signal_separates_topics(self, tiny_dataset):
+        """Users of the same latent topic should be closer in embedding space."""
+        embeddings = SimulatedLLMEncoder(embedding_dim=64, noise_strength=0.2, seed=0).encode(tiny_dataset)
+        clusters = np.asarray(tiny_dataset.metadata["user_clusters"])
+        vectors = embeddings.user_embeddings
+        same, different = [], []
+        for i in range(len(vectors)):
+            for j in range(i + 1, len(vectors)):
+                similarity = float(vectors[i] @ vectors[j])
+                (same if clusters[i] == clusters[j] else different).append(similarity)
+        assert np.mean(same) > np.mean(different)
+
+    def test_noise_strength_reduces_topic_separation(self, tiny_dataset):
+        clusters = np.asarray(tiny_dataset.metadata["user_clusters"])
+
+        def separation(noise: float) -> float:
+            vectors = SimulatedLLMEncoder(
+                embedding_dim=64, noise_strength=noise, seed=0
+            ).encode(tiny_dataset).user_embeddings
+            centroid_gap = []
+            for topic in np.unique(clusters):
+                inside = vectors[clusters == topic].mean(axis=0)
+                outside = vectors[clusters != topic].mean(axis=0)
+                centroid_gap.append(np.linalg.norm(inside - outside))
+            return float(np.mean(centroid_gap))
+
+        assert separation(0.0) > separation(3.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimulatedLLMEncoder(embedding_dim=0)
+        with pytest.raises(ValueError):
+            SimulatedLLMEncoder(noise_strength=-1.0)
+
+    def test_falls_back_to_hashing_without_metadata_factors(self, tiny_dataset):
+        bare = InteractionDataset(
+            name="bare",
+            num_users=tiny_dataset.num_users,
+            num_items=tiny_dataset.num_items,
+            train=tiny_dataset.train,
+            valid=tiny_dataset.valid,
+            test=tiny_dataset.test,
+            metadata={
+                "user_clusters": tiny_dataset.metadata["user_clusters"],
+                "item_clusters": tiny_dataset.metadata["item_clusters"],
+            },
+        )
+        embeddings = SimulatedLLMEncoder(embedding_dim=32).encode(bare)
+        assert embeddings.user_embeddings.shape == (bare.num_users, 32)
+
+
+class TestHashingTextEncoder:
+    def test_shapes(self, tiny_dataset):
+        embeddings = HashingTextEncoder(embedding_dim=64).encode(tiny_dataset)
+        assert embeddings.dim == 64
+        assert embeddings.num_users == tiny_dataset.num_users
+
+    def test_same_topic_items_share_embedding_direction(self, tiny_dataset):
+        embeddings = HashingTextEncoder(embedding_dim=128).encode(tiny_dataset)
+        clusters = np.asarray(tiny_dataset.metadata["item_clusters"])
+        vectors = embeddings.item_embeddings
+        topic = clusters[0]
+        same = vectors[clusters == topic]
+        if len(same) > 1:
+            sims = same @ same[0]
+            assert np.mean(sims[1:]) > 0.5
+
+    def test_deterministic(self, tiny_dataset):
+        a = HashingTextEncoder(embedding_dim=32).encode(tiny_dataset)
+        b = HashingTextEncoder(embedding_dim=32).encode(tiny_dataset)
+        np.testing.assert_array_equal(a.item_embeddings, b.item_embeddings)
+
+
+class TestCachedProvider:
+    def test_encode_called_once_per_dataset(self, tiny_dataset):
+        calls = []
+
+        class Counting(SimulatedLLMEncoder):
+            def encode(self, dataset):
+                calls.append(dataset.name)
+                return super().encode(dataset)
+
+        provider = CachedProvider(Counting(embedding_dim=16))
+        first = provider.encode(tiny_dataset)
+        second = provider.encode(tiny_dataset)
+        assert first is second
+        assert len(calls) == 1

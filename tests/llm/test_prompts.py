@@ -1,0 +1,33 @@
+"""Prompt assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm import ITEM_SYSTEM_PROMPT, USER_SYSTEM_PROMPT, build_prompt
+
+
+class TestPrompts:
+    def test_user_prompt_uses_user_system_prompt(self):
+        prompt = build_prompt("User 3 likes science fiction.", entity="user")
+        assert prompt.system_prompt == USER_SYSTEM_PROMPT
+        assert "science fiction" in prompt.profile
+
+    def test_item_prompt_uses_item_system_prompt(self):
+        prompt = build_prompt("Item 7 is a cozy cafe.", entity="item")
+        assert prompt.system_prompt == ITEM_SYSTEM_PROMPT
+
+    def test_invalid_entity_rejected(self):
+        with pytest.raises(ValueError):
+            build_prompt("whatever", entity="review")
+
+    def test_render_contains_sections(self):
+        rendered = build_prompt("Profile text", entity="user").render()
+        for section in ("[SYSTEM]", "[PROFILE]", "[RESPONSE]"):
+            assert section in rendered
+        assert "Profile text" in rendered
+
+    def test_templates_are_frozen(self):
+        prompt = build_prompt("Profile", entity="user")
+        with pytest.raises(AttributeError):
+            prompt.profile = "other"

@@ -1,0 +1,41 @@
+"""SemanticEmbeddings container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm import SemanticEmbeddings
+
+
+class TestSemanticEmbeddings:
+    def test_dimensions(self):
+        embeddings = SemanticEmbeddings(np.zeros((4, 8)), np.zeros((6, 8)))
+        assert embeddings.dim == 8
+        assert embeddings.num_users == 4
+        assert embeddings.num_items == 6
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticEmbeddings(np.zeros((4, 8)), np.zeros((6, 9)))
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticEmbeddings(np.zeros(4), np.zeros((6, 4)))
+
+    def test_concatenated_order_users_then_items(self):
+        users = np.ones((2, 3))
+        items = np.full((3, 3), 2.0)
+        joint = SemanticEmbeddings(users, items).concatenated()
+        assert joint.shape == (5, 3)
+        np.testing.assert_array_equal(joint[:2], users)
+        np.testing.assert_array_equal(joint[2:], items)
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        embeddings = SemanticEmbeddings(rng.normal(size=(3, 4)), rng.normal(size=(5, 4)))
+        path = tmp_path / "embeddings.npz"
+        embeddings.save(str(path))
+        restored = SemanticEmbeddings.load(str(path))
+        np.testing.assert_allclose(restored.user_embeddings, embeddings.user_embeddings)
+        np.testing.assert_allclose(restored.item_embeddings, embeddings.item_embeddings)

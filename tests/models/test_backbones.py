@@ -1,0 +1,104 @@
+"""Contract tests shared by every collaborative filtering backbone."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.sampling import BprSampler
+from repro.models import BACKBONES, BPRMF, GraphRecommender, create_backbone
+from repro.nn import Adam
+
+ALL_BACKBONES = sorted(BACKBONES)
+
+
+def make(name, dataset, **overrides):
+    kwargs = {"embedding_dim": 16, "seed": 0}
+    if issubclass(BACKBONES[name], GraphRecommender):
+        kwargs["num_layers"] = 2
+    kwargs.update(overrides)
+    return create_backbone(name, dataset, **kwargs)
+
+
+class TestBackboneContract:
+    @pytest.mark.parametrize("name", ALL_BACKBONES)
+    def test_propagate_shapes(self, name, tiny_dataset):
+        model = make(name, tiny_dataset)
+        users, items = model.propagate()
+        assert users.shape == (tiny_dataset.num_users, model.output_dim)
+        assert items.shape == (tiny_dataset.num_items, model.output_dim)
+
+    @pytest.mark.parametrize("name", ALL_BACKBONES)
+    def test_representations_concatenate_users_then_items(self, name, tiny_dataset):
+        model = make(name, tiny_dataset)
+        joint = model.representations()
+        assert joint.shape[0] == tiny_dataset.num_users + tiny_dataset.num_items
+
+    @pytest.mark.parametrize("name", ALL_BACKBONES)
+    def test_score_all_shape_and_finite(self, name, tiny_dataset):
+        model = make(name, tiny_dataset)
+        scores = model.score_all()
+        assert scores.shape == (tiny_dataset.num_users, tiny_dataset.num_items)
+        assert np.isfinite(scores).all()
+
+    @pytest.mark.parametrize("name", ALL_BACKBONES)
+    def test_bpr_step_returns_finite_scalar_with_gradients(self, name, tiny_dataset, bpr_batch):
+        model = make(name, tiny_dataset)
+        loss = model.bpr_step(bpr_batch)
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert model.user_embedding.weight.grad is not None
+        assert np.abs(model.user_embedding.weight.grad).sum() > 0
+
+    @pytest.mark.parametrize("name", ALL_BACKBONES)
+    def test_one_epoch_of_training_reduces_loss(self, name, tiny_dataset):
+        model = make(name, tiny_dataset)
+        sampler = BprSampler(tiny_dataset, batch_size=256, seed=0)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        losses = []
+        for _ in range(6):
+            model.on_epoch_start()
+            epoch_losses = []
+            for batch in sampler.epoch():
+                optimizer.zero_grad()
+                loss = model.bpr_step(batch)
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            losses.append(np.mean(epoch_losses))
+        assert losses[-1] < losses[0]
+
+    @pytest.mark.parametrize("name", ALL_BACKBONES)
+    def test_on_epoch_start_is_safe_to_call(self, name, tiny_dataset):
+        model = make(name, tiny_dataset)
+        model.on_epoch_start()
+        model.on_epoch_start()
+
+    @pytest.mark.parametrize("name", ALL_BACKBONES)
+    def test_deterministic_construction(self, name, tiny_dataset):
+        a = make(name, tiny_dataset)
+        b = make(name, tiny_dataset)
+        np.testing.assert_allclose(a.user_embedding.weight.data, b.user_embedding.weight.data)
+
+
+class TestFactoryAndValidation:
+    def test_unknown_backbone_rejected(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            create_backbone("ncf", tiny_dataset)
+
+    def test_invalid_embedding_dim(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            BPRMF(tiny_dataset, embedding_dim=0)
+
+    def test_invalid_num_layers(self, tiny_dataset):
+        from repro.models import LightGCN
+
+        with pytest.raises(ValueError):
+            LightGCN(tiny_dataset, num_layers=-1)
+
+    def test_embedding_tables_returns_raw_parameters(self, tiny_dataset):
+        model = make("lightgcn", tiny_dataset)
+        users, items = model.embedding_tables()
+        assert users.shape == (tiny_dataset.num_users, 16)
+        assert items.shape == (tiny_dataset.num_items, 16)

@@ -1,0 +1,133 @@
+"""Backbone-specific behaviour beyond the shared contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import AutoCF, BPRMF, DCCF, GCCF, LightGCN, SGL, SimGCL
+
+
+class TestLightGCN:
+    def test_propagation_is_layer_average(self, tiny_dataset):
+        model = LightGCN(tiny_dataset, embedding_dim=8, num_layers=2, seed=0)
+        users, items = model.propagate()
+        joint = np.concatenate([users.data, items.data], axis=0)
+
+        embeddings = np.concatenate(
+            [model.user_embedding.weight.data, model.item_embedding.weight.data], axis=0
+        )
+        adjacency = model.adjacency.toarray()
+        layer1 = adjacency @ embeddings
+        layer2 = adjacency @ layer1
+        expected = (embeddings + layer1 + layer2) / 3.0
+        np.testing.assert_allclose(joint, expected, atol=1e-10)
+
+    def test_zero_layers_equals_raw_embeddings(self, tiny_dataset):
+        model = LightGCN(tiny_dataset, embedding_dim=8, num_layers=0, seed=0)
+        users, _ = model.propagate()
+        np.testing.assert_allclose(users.data, model.user_embedding.weight.data)
+
+
+class TestGCCF:
+    def test_output_dim_grows_with_layers(self, tiny_dataset):
+        model = GCCF(tiny_dataset, embedding_dim=8, num_layers=3, seed=0)
+        assert model.output_dim == 8 * 4
+        users, _ = model.propagate()
+        assert users.shape[1] == 32
+
+    def test_layer_zero_block_is_raw_embedding(self, tiny_dataset):
+        model = GCCF(tiny_dataset, embedding_dim=8, num_layers=1, seed=0)
+        users, _ = model.propagate()
+        np.testing.assert_allclose(users.data[:, :8], model.user_embedding.weight.data)
+
+
+class TestSGL:
+    def test_views_refresh_on_epoch_start(self, tiny_dataset):
+        model = SGL(tiny_dataset, embedding_dim=8, drop_rate=0.3, seed=0)
+        before = [view.copy() for view in model._view_adjacency]
+        model.on_epoch_start()
+        after = model._view_adjacency
+        assert any((before[i] != after[i]).nnz > 0 for i in range(2))
+
+    def test_invalid_augmentation_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            SGL(tiny_dataset, augmentation="random-walks")
+
+    def test_ssl_weight_zero_matches_plain_bpr(self, tiny_dataset, bpr_batch):
+        plain = SGL(tiny_dataset, embedding_dim=8, ssl_weight=0.0, seed=0)
+        loss_plain = plain.bpr_step(bpr_batch).item()
+        with_ssl = SGL(tiny_dataset, embedding_dim=8, ssl_weight=0.5, seed=0)
+        loss_ssl = with_ssl.bpr_step(bpr_batch).item()
+        assert loss_ssl > loss_plain
+
+    def test_node_augmentation_variant(self, tiny_dataset, bpr_batch):
+        model = SGL(tiny_dataset, embedding_dim=8, augmentation="node", seed=0)
+        assert np.isfinite(model.bpr_step(bpr_batch).item())
+
+
+class TestSimGCL:
+    def test_scoring_propagation_is_deterministic(self, tiny_dataset):
+        model = SimGCL(tiny_dataset, embedding_dim=8, seed=0)
+        a = model.score_all()
+        b = model.score_all()
+        np.testing.assert_allclose(a, b)
+
+    def test_perturbed_views_differ(self, tiny_dataset):
+        model = SimGCL(tiny_dataset, embedding_dim=8, seed=0, noise_magnitude=0.2)
+        view_a = model._propagate(perturb=True).data
+        view_b = model._propagate(perturb=True).data
+        assert not np.allclose(view_a, view_b)
+
+    def test_noise_magnitude_bounds_perturbation(self, tiny_dataset):
+        model = SimGCL(tiny_dataset, embedding_dim=8, seed=0, noise_magnitude=0.05)
+        clean = model._propagate(perturb=False).data
+        noisy = model._propagate(perturb=True).data
+        per_layer_bound = 0.05 * model.num_layers / (model.num_layers + 1)
+        row_deviation = np.linalg.norm(noisy - clean, axis=1)
+        assert row_deviation.max() <= per_layer_bound * np.sqrt(clean.shape[1]) + 1e-6
+
+
+class TestDCCF:
+    def test_intent_prototypes_receive_gradients(self, tiny_dataset, bpr_batch):
+        model = DCCF(tiny_dataset, embedding_dim=8, num_intents=4, seed=0)
+        model.bpr_step(bpr_batch).backward()
+        assert model.user_intents.grad is not None
+        assert np.abs(model.user_intents.grad).sum() > 0
+
+    def test_invalid_num_intents(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            DCCF(tiny_dataset, num_intents=0)
+
+    def test_intent_view_shape(self, tiny_dataset):
+        model = DCCF(tiny_dataset, embedding_dim=8, num_intents=4, seed=0)
+        joint = model._propagated()
+        intent_view = model._intent_view(joint)
+        assert intent_view.shape == joint.shape
+
+
+class TestAutoCF:
+    def test_masked_pairs_tracked(self, tiny_dataset):
+        model = AutoCF(tiny_dataset, embedding_dim=8, mask_rate=0.3, seed=0)
+        assert len(model._masked_pairs) > 0
+        fraction = len(model._masked_pairs) / tiny_dataset.train_matrix.nnz
+        assert 0.1 < fraction < 0.5
+
+    def test_reconstruction_loss_positive(self, tiny_dataset):
+        model = AutoCF(tiny_dataset, embedding_dim=8, seed=0)
+        assert model._reconstruction_loss().item() > 0
+
+    def test_mask_refreshes_each_epoch(self, tiny_dataset):
+        model = AutoCF(tiny_dataset, embedding_dim=8, mask_rate=0.3, seed=0)
+        before = model._masked_pairs.copy()
+        model.on_epoch_start()
+        after = model._masked_pairs
+        assert before.shape != after.shape or not np.array_equal(before, after)
+
+
+class TestBPRMF:
+    def test_propagate_is_identity_on_tables(self, tiny_dataset):
+        model = BPRMF(tiny_dataset, embedding_dim=8, seed=0)
+        users, items = model.propagate()
+        np.testing.assert_allclose(users.data, model.user_embedding.weight.data)
+        np.testing.assert_allclose(items.data, model.item_embedding.weight.data)

@@ -1,0 +1,43 @@
+"""Weight initialisation statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self, rng):
+        weights = init.xavier_uniform((200, 100), rng)
+        limit = np.sqrt(6.0 / 300)
+        assert weights.min() >= -limit and weights.max() <= limit
+        assert abs(weights.mean()) < 0.01
+
+    def test_xavier_normal_std(self, rng):
+        weights = init.xavier_normal((400, 100), rng)
+        expected_std = np.sqrt(2.0 / 500)
+        assert abs(weights.std() - expected_std) < expected_std * 0.1
+
+    def test_kaiming_uniform_bounds(self, rng):
+        weights = init.kaiming_uniform((300, 50), rng)
+        limit = np.sqrt(6.0 / 50)
+        assert weights.min() >= -limit and weights.max() <= limit
+
+    def test_normal_std(self, rng):
+        weights = init.normal((500, 20), rng, std=0.3)
+        assert abs(weights.std() - 0.3) < 0.03
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3, 4)), np.zeros((3, 4)))
+
+    def test_one_dimensional_fans(self, rng):
+        weights = init.xavier_uniform((64,), rng)
+        assert weights.shape == (64,)
+        assert np.isfinite(weights).all()

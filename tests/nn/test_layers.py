@@ -1,0 +1,202 @@
+"""Module / layer behaviour: parameter discovery, forward shapes, state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Dropout, Embedding, Linear, Module, Parameter, Sequential, Tensor
+
+
+class TestModuleParameterDiscovery:
+    def test_linear_has_weight_and_bias(self):
+        layer = Linear(4, 3)
+        names = {name for name, _ in layer.named_parameters()}
+        assert any("weight" in n for n in names)
+        assert any("bias" in n for n in names)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_linear_without_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.num_parameters() == 12
+
+    def test_nested_modules_and_lists_are_traversed(self):
+        class Composite(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = [Linear(2, 2), Linear(2, 2)]
+                self.table = {"head": Linear(2, 1)}
+
+        model = Composite()
+        assert len(list(model.parameters())) == 6
+
+    def test_shared_parameter_counted_once(self):
+        class Shared(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(3, 3)
+                self.b = self.a
+
+        assert len(list(Shared().parameters())) == 2
+
+    def test_zero_grad_clears_all(self):
+        layer = Linear(3, 2)
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in layer.parameters())
+        layer.zero_grad()
+        assert all(p.grad is None for p in layer.parameters())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(5, 3)
+        assert layer(Tensor(np.ones((7, 5)))).shape == (7, 3)
+
+    def test_forward_matches_manual_computation(self):
+        layer = Linear(3, 2)
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradients_reach_parameters(self):
+        layer = Linear(3, 2)
+        layer(Tensor(np.ones((4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestMLP:
+    def test_output_shape(self):
+        mlp = MLP(8, [16, 16], 4)
+        assert mlp(Tensor(np.ones((5, 8)))).shape == (5, 4)
+
+    def test_no_hidden_layers(self):
+        mlp = MLP(6, [], 2)
+        assert len(mlp.layers) == 1
+        assert mlp(Tensor(np.ones((3, 6)))).shape == (3, 2)
+
+    def test_invalid_activation_rejected(self):
+        with pytest.raises(ValueError):
+            MLP(4, [4], 2, activation="swishish")
+
+    @pytest.mark.parametrize("activation", ["relu", "tanh", "leaky_relu", "identity"])
+    def test_all_activations_run(self, activation):
+        mlp = MLP(4, [6], 2, activation=activation)
+        out = mlp(Tensor(np.random.default_rng(1).normal(size=(3, 4))))
+        assert np.isfinite(out.data).all()
+
+    def test_gradient_flows_through_all_layers(self):
+        mlp = MLP(4, [8, 8], 2)
+        mlp(Tensor(np.random.default_rng(2).normal(size=(6, 4)))).sum().backward()
+        for param in mlp.parameters():
+            assert param.grad is not None
+
+    def test_dropout_only_between_layers_in_training(self):
+        mlp = MLP(4, [8], 2, dropout=0.5)
+        mlp.eval()
+        x = Tensor(np.random.default_rng(3).normal(size=(5, 4)))
+        out_a = mlp(x).data
+        out_b = mlp(x).data
+        np.testing.assert_allclose(out_a, out_b)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        table = Embedding(10, 6)
+        assert table(np.array([0, 3, 9])).shape == (3, 6)
+
+    def test_duplicate_indices_accumulate_gradient(self):
+        table = Embedding(5, 2)
+        table(np.array([1, 1, 2])).sum().backward()
+        np.testing.assert_allclose(table.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(table.weight.grad[2], [1.0, 1.0])
+        np.testing.assert_allclose(table.weight.grad[0], [0.0, 0.0])
+
+    def test_all_returns_full_table(self):
+        table = Embedding(7, 3)
+        assert table.all().shape == (7, 3)
+
+    def test_normal_initialisation_std(self):
+        table = Embedding(2000, 8, std=0.05, rng=np.random.default_rng(0))
+        assert abs(table.weight.data.std() - 0.05) < 0.01
+
+
+class TestDropout:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_training_mode_zeroes_roughly_rate_fraction(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((200, 200)))).data
+        zero_fraction = np.mean(out == 0.0)
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_training_mode_preserves_expectation(self):
+        layer = Dropout(0.3, rng=np.random.default_rng(1))
+        out = layer(Tensor(np.ones((300, 300)))).data
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_zero_rate_is_identity_even_in_training(self):
+        layer = Dropout(0.0)
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+
+class TestSequentialAndModes:
+    def test_sequential_applies_in_order(self):
+        seq = Sequential(Linear(3, 5), lambda t: t.relu(), Linear(5, 2))
+        assert seq(Tensor(np.ones((4, 3)))).shape == (4, 2)
+
+    def test_train_eval_propagates_to_children(self):
+        seq = Sequential(Dropout(0.5), Linear(3, 3))
+        seq.eval()
+        assert not seq.stages[0].training
+        seq.train()
+        assert seq.stages[0].training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source = MLP(4, [6], 2, rng=np.random.default_rng(1))
+        target = MLP(4, [6], 2, rng=np.random.default_rng(2))
+        target.load_state_dict(source.state_dict())
+        x = Tensor(np.random.default_rng(3).normal(size=(5, 4)))
+        np.testing.assert_allclose(source(x).data, target(x).data)
+
+    def test_mismatched_keys_rejected(self):
+        source = Linear(3, 3)
+        target = MLP(3, [3], 3)
+        with pytest.raises(KeyError):
+            target.load_state_dict(source.state_dict())
+
+    def test_shape_mismatch_rejected(self):
+        source = Linear(3, 3)
+        target = Linear(3, 4)
+        state = source.state_dict()
+        with pytest.raises((KeyError, ValueError)):
+            target.load_state_dict(state)
+
+    def test_state_dict_values_are_copies(self):
+        layer = Linear(2, 2)
+        state = layer.state_dict()
+        key = next(iter(state))
+        state[key][:] = 123.0
+        assert not np.allclose(layer.state_dict()[key], 123.0)
+
+
+class TestParameter:
+    def test_parameter_requires_grad(self):
+        param = Parameter(np.zeros((2, 2)))
+        assert param.requires_grad

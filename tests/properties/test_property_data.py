@@ -1,0 +1,103 @@
+"""Property-based tests on data structures: splits, k-means, samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import assign_to_centers, kmeans
+from repro.data import RatingTable, sample_instances, sparse_split
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+@st.composite
+def rating_tables(draw):
+    num_users = draw(st.integers(3, 12))
+    num_items = draw(st.integers(4, 15))
+    size = draw(st.integers(5, 80))
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    users = rng.integers(0, num_users, size=size)
+    items = rng.integers(0, num_items, size=size)
+    ratings = rng.integers(1, 6, size=size).astype(float)
+    return RatingTable(users, items, ratings, num_users, num_items)
+
+
+class TestSplitProperties:
+    @SETTINGS
+    @given(rating_tables(), st.integers(0, 100))
+    def test_split_partitions_interactions(self, table, seed):
+        train, valid, test = sparse_split(table, seed=seed)
+        assert len(train) + len(valid) + len(test) == len(table)
+
+    @SETTINGS
+    @given(rating_tables(), st.integers(0, 100))
+    def test_split_preserves_pairs(self, table, seed):
+        train, valid, test = sparse_split(table, seed=seed)
+        original = sorted(zip(table.users.tolist(), table.items.tolist()))
+        recombined = sorted(
+            [(int(u), int(i)) for split in (train, valid, test) for u, i in split]
+        )
+        assert original == recombined
+
+    @SETTINGS
+    @given(rating_tables(), st.integers(0, 100))
+    def test_train_is_largest_split(self, table, seed):
+        train, valid, test = sparse_split(table, seed=seed)
+        assert len(train) >= len(valid)
+        assert len(train) >= len(test)
+
+    @SETTINGS
+    @given(rating_tables())
+    def test_filter_min_rating_monotone(self, table):
+        assert len(table.filter_min_rating(4.0)) <= len(table.filter_min_rating(2.0))
+
+    @SETTINGS
+    @given(rating_tables())
+    def test_deduplicate_idempotent(self, table):
+        once = table.deduplicate()
+        twice = once.deduplicate()
+        assert len(once) == len(twice)
+
+
+class TestKMeansProperties:
+    @SETTINGS
+    @given(
+        st.integers(2, 5),
+        st.integers(10, 40),
+        st.integers(0, 1000),
+    )
+    def test_labels_consistent_with_centers(self, k, n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, 4))
+        result = kmeans(data, k, seed=seed)
+        np.testing.assert_array_equal(result.labels, assign_to_centers(data, result.centers))
+
+    @SETTINGS
+    @given(st.integers(2, 5), st.integers(10, 40), st.integers(0, 1000))
+    def test_inertia_nonnegative_and_consistent(self, k, n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, 3))
+        result = kmeans(data, k, seed=seed)
+        manual = np.sum((data - result.centers[result.labels]) ** 2)
+        np.testing.assert_allclose(result.inertia, manual, rtol=1e-9)
+
+    @SETTINGS
+    @given(st.integers(2, 6), st.integers(12, 40), st.integers(0, 500))
+    def test_every_label_within_range(self, k, n, seed):
+        data = np.random.default_rng(seed).normal(size=(n, 5))
+        result = kmeans(data, k, seed=seed)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < k
+
+
+class TestSamplingProperties:
+    @SETTINGS
+    @given(st.integers(1, 500), st.integers(1, 500), st.integers(0, 1000))
+    def test_sample_instances_distinct_and_in_range(self, total, sample_size, seed):
+        rng = np.random.default_rng(seed)
+        sample = sample_instances(total, sample_size, rng)
+        assert len(sample) == min(total, sample_size)
+        assert len(np.unique(sample)) == len(sample)
+        assert sample.min() >= 0 and sample.max() < total

@@ -1,0 +1,113 @@
+"""Property-based tests for the DaRec loss terms and centre matching."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.align.darec import (
+    global_structure_loss,
+    greedy_center_matching,
+    local_structure_loss,
+    orthogonality_loss,
+    pairwise_gaussian_potential,
+)
+from repro.nn import Tensor
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+elements = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False, width=64)
+
+
+def nonzero_matrices(rows=(2, 10), cols=(2, 8)):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(*rows), st.integers(*cols)),
+        elements=elements,
+    ).filter(lambda a: np.all(np.linalg.norm(a, axis=1) > 1e-3))
+
+
+class TestLossInvariants:
+    @SETTINGS
+    @given(nonzero_matrices())
+    def test_orthogonality_loss_bounded(self, a):
+        value = orthogonality_loss(Tensor(a), Tensor(a + 0.1)).item()
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @SETTINGS
+    @given(nonzero_matrices())
+    def test_orthogonality_self_is_one(self, a):
+        value = orthogonality_loss(Tensor(a), Tensor(a.copy())).item()
+        np.testing.assert_allclose(value, 1.0, atol=1e-9)
+
+    @SETTINGS
+    @given(nonzero_matrices())
+    def test_global_structure_loss_nonnegative_and_symmetric(self, a):
+        b = a[::-1].copy()
+        forward = global_structure_loss(Tensor(a), Tensor(b)).item()
+        backward = global_structure_loss(Tensor(b), Tensor(a)).item()
+        assert forward >= -1e-12
+        np.testing.assert_allclose(forward, backward, rtol=1e-9, atol=1e-9)
+
+    @SETTINGS
+    @given(nonzero_matrices())
+    def test_global_structure_zero_on_self(self, a):
+        assert global_structure_loss(Tensor(a), Tensor(a.copy())).item() < 1e-12
+
+    @SETTINGS
+    @given(nonzero_matrices())
+    def test_local_structure_loss_nonnegative(self, a):
+        b = np.roll(a, 1, axis=0)
+        assert local_structure_loss(Tensor(a), Tensor(b)).item() >= -1e-12
+
+    @SETTINGS
+    @given(nonzero_matrices())
+    def test_gaussian_potential_invariant_to_scaling(self, a):
+        """The potential only sees directions (inputs are L2-normalised)."""
+        base = pairwise_gaussian_potential(Tensor(a)).item()
+        scaled = pairwise_gaussian_potential(Tensor(a * 3.7)).item()
+        np.testing.assert_allclose(base, scaled, rtol=1e-7, atol=1e-7)
+
+    @SETTINGS
+    @given(nonzero_matrices())
+    def test_gaussian_potential_permutation_invariant(self, a):
+        rng = np.random.default_rng(0)
+        permuted = a[rng.permutation(len(a))]
+        np.testing.assert_allclose(
+            pairwise_gaussian_potential(Tensor(a)).item(),
+            pairwise_gaussian_potential(Tensor(permuted)).item(),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+
+class TestMatchingInvariants:
+    @SETTINGS
+    @given(nonzero_matrices(rows=(2, 8), cols=(2, 6)))
+    def test_matching_is_a_permutation(self, a):
+        b = a + np.random.default_rng(1).normal(0, 0.1, size=a.shape)
+        collab_order, llm_order = greedy_center_matching(a, b)
+        assert sorted(collab_order.tolist()) == list(range(len(a)))
+        assert sorted(llm_order.tolist()) == list(range(len(a)))
+
+    @SETTINGS
+    @given(nonzero_matrices(rows=(2, 8), cols=(2, 6)))
+    def test_matching_total_distance_not_worse_than_identity(self, a):
+        rng = np.random.default_rng(2)
+        b = a[rng.permutation(len(a))]
+        collab_order, llm_order = greedy_center_matching(a, b)
+        matched = sum(np.linalg.norm(a[i] - b[j]) for i, j in zip(collab_order, llm_order))
+        identity = sum(np.linalg.norm(a[i] - b[i]) for i in range(len(a)))
+        assert matched <= identity + 1e-9
+
+    @SETTINGS
+    @given(nonzero_matrices(rows=(2, 8), cols=(2, 6)))
+    def test_first_matched_pair_is_global_minimum(self, a):
+        b = a[::-1].copy() + 0.05
+        collab_order, llm_order = greedy_center_matching(a, b)
+        distances = np.linalg.norm(a[:, None, :] - b[None, :, :], axis=2)
+        np.testing.assert_allclose(
+            np.linalg.norm(a[collab_order[0]] - b[llm_order[0]]), distances.min(), atol=1e-9
+        )

@@ -1,0 +1,80 @@
+"""Property-based tests for ranking metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import hit_rate_at_k, mrr_at_k, ndcg_at_k, precision_at_k, recall_at_k
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+NUM_ITEMS = 50
+
+
+@st.composite
+def ranking_case(draw):
+    """A recommendation list, a relevant set and a cut-off."""
+    k = draw(st.integers(1, 20))
+    recommended = draw(st.permutations(list(range(NUM_ITEMS))))
+    relevant = draw(st.sets(st.integers(0, NUM_ITEMS - 1), min_size=1, max_size=10))
+    return np.array(recommended), np.array(sorted(relevant)), k
+
+
+class TestMetricBounds:
+    @SETTINGS
+    @given(ranking_case())
+    def test_all_metrics_in_unit_interval(self, case):
+        recommended, relevant, k = case
+        for metric in (recall_at_k, precision_at_k, ndcg_at_k, hit_rate_at_k, mrr_at_k):
+            value = metric(recommended, relevant, k)
+            assert 0.0 <= value <= 1.0
+
+    @SETTINGS
+    @given(ranking_case())
+    def test_metrics_monotone_in_k(self, case):
+        recommended, relevant, k = case
+        larger_k = min(k * 2, NUM_ITEMS)
+        assert recall_at_k(recommended, relevant, larger_k) >= recall_at_k(recommended, relevant, k)
+        assert hit_rate_at_k(recommended, relevant, larger_k) >= hit_rate_at_k(recommended, relevant, k)
+        assert mrr_at_k(recommended, relevant, larger_k) >= mrr_at_k(recommended, relevant, k)
+
+    @SETTINGS
+    @given(ranking_case())
+    def test_recall_one_iff_all_relevant_in_top_k(self, case):
+        recommended, relevant, k = case
+        value = recall_at_k(recommended, relevant, k)
+        all_inside = set(relevant).issubset(set(recommended[:k].tolist()))
+        assert (value == 1.0) == all_inside
+
+    @SETTINGS
+    @given(ranking_case())
+    def test_hit_consistency_with_recall(self, case):
+        recommended, relevant, k = case
+        assert (recall_at_k(recommended, relevant, k) > 0) == (hit_rate_at_k(recommended, relevant, k) == 1.0)
+
+    @SETTINGS
+    @given(ranking_case())
+    def test_precision_recall_relation(self, case):
+        """precision * k == recall * |relevant| (both count the same hits)."""
+        recommended, relevant, k = case
+        hits_from_precision = precision_at_k(recommended, relevant, k) * k
+        hits_from_recall = recall_at_k(recommended, relevant, k) * len(relevant)
+        np.testing.assert_allclose(hits_from_precision, hits_from_recall, atol=1e-9)
+
+    @SETTINGS
+    @given(ranking_case())
+    def test_perfect_ranking_maximises_ndcg(self, case):
+        recommended, relevant, k = case
+        ideal = np.concatenate([relevant, [i for i in recommended if i not in set(relevant.tolist())]])
+        assert ndcg_at_k(ideal, relevant, k) >= ndcg_at_k(recommended, relevant, k) - 1e-12
+
+    @SETTINGS
+    @given(ranking_case())
+    def test_irrelevant_only_list_scores_zero(self, case):
+        _, relevant, k = case
+        disjoint = np.arange(NUM_ITEMS, NUM_ITEMS + 30)
+        assert recall_at_k(disjoint, relevant, k) == 0.0
+        assert ndcg_at_k(disjoint, relevant, k) == 0.0
+        assert mrr_at_k(disjoint, relevant, k) == 0.0

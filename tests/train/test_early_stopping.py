@@ -1,0 +1,46 @@
+"""Early stopping logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.train import EarlyStopping
+
+
+class TestEarlyStopping:
+    def test_improving_metric_never_stops(self):
+        stopper = EarlyStopping(patience=2)
+        assert not any(stopper.update(value, step) for step, value in enumerate([0.1, 0.2, 0.3, 0.4]))
+
+    def test_stops_after_patience_bad_checks(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(0.5, 0)
+        assert not stopper.update(0.4, 1)
+        assert stopper.update(0.3, 2)
+        assert stopper.should_stop
+
+    def test_best_value_and_step_tracked(self):
+        stopper = EarlyStopping(patience=3)
+        for step, value in enumerate([0.1, 0.5, 0.3, 0.2]):
+            stopper.update(value, step)
+        assert stopper.best_value == pytest.approx(0.5)
+        assert stopper.best_step == 1
+
+    def test_min_delta_requires_meaningful_improvement(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.05)
+        stopper.update(0.5, 0)
+        # +0.01 is within min_delta → counts as no improvement.
+        assert stopper.update(0.51, 1)
+
+    def test_counter_resets_on_improvement(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(0.5, 0)
+        stopper.update(0.4, 1)
+        stopper.update(0.6, 2)
+        assert not stopper.update(0.55, 3)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=1, min_delta=-0.1)
