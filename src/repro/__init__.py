@@ -12,7 +12,9 @@ The package is organised in layers:
 * :mod:`repro.train`, :mod:`repro.eval` — joint training loop and the
   all-ranking evaluation protocol;
 * :mod:`repro.analysis`, :mod:`repro.experiments` — information-theoretic
-  analysis, t-SNE, case study and one runner per paper table/figure.
+  analysis, t-SNE, case study and one runner per paper table/figure;
+* :mod:`repro.serve` — online serving: embedding snapshots, exact and
+  IVF-accelerated top-K retrieval, and a batched recommendation service.
 
 Quickstart::
 
@@ -31,9 +33,11 @@ Quickstart::
     print(RankingEvaluator(dataset).evaluate(model).metrics)
 """
 
-from . import align, analysis, cluster, data, eval, experiments, graph, llm, models, nn, train
+# __version__ is defined before the subpackage imports because some of them
+# (e.g. repro.serve snapshots) stamp it into their artifacts at import time.
+__version__ = "1.1.0"
 
-__version__ = "1.0.0"
+from . import align, analysis, cluster, data, eval, experiments, graph, llm, models, nn, serve, train
 
 __all__ = [
     "align",
@@ -46,6 +50,7 @@ __all__ = [
     "llm",
     "models",
     "nn",
+    "serve",
     "train",
     "__version__",
 ]

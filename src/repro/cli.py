@@ -1,10 +1,12 @@
-"""Command-line interface around the experiment registry.
+"""Command-line interface around the experiment registry and the serving layer.
 
 Usage::
 
     python -m repro list
     python -m repro run table4 --epochs 4 --dataset-scale 0.3
     python -m repro datasets --scale 0.3
+    python -m repro export-snapshot --output model.npz --backbone lightgcn --variant darec
+    python -m repro recommend --snapshot model.npz --user 3 --user 17 -k 10 --index ivf
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
+from . import __version__
 from .data.synthetic import BENCHMARKS, load_benchmark
 from .experiments import EXPERIMENTS, ExperimentScale, get_experiment
 from .experiments.reporting import print_table
@@ -19,25 +22,76 @@ from .experiments.reporting import print_table
 __all__ = ["build_parser", "main"]
 
 
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset-scale", type=float, default=0.25, help="synthetic dataset size multiplier")
+    parser.add_argument("--epochs", type=int, default=2, help="training epochs per model")
+    parser.add_argument("--embedding-dim", type=int, default=32, help="backbone embedding width")
+    parser.add_argument("--llm-dim", type=int, default=64, help="simulated LLM embedding width")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="DaRec reproduction — regenerate the paper's tables and figures.",
+        description="DaRec reproduction — regenerate the paper's tables and figures, "
+        "export serving snapshots and answer top-K queries.",
     )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list the reproducible paper artefacts")
 
     run = subparsers.add_parser("run", help="run one experiment by identifier (e.g. table3, fig4)")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment identifier")
-    run.add_argument("--dataset-scale", type=float, default=0.25, help="synthetic dataset size multiplier")
-    run.add_argument("--epochs", type=int, default=2, help="training epochs per model")
-    run.add_argument("--embedding-dim", type=int, default=32, help="backbone embedding width")
-    run.add_argument("--llm-dim", type=int, default=64, help="simulated LLM embedding width")
-    run.add_argument("--seed", type=int, default=0, help="random seed")
+    _add_scale_arguments(run)
 
     datasets = subparsers.add_parser("datasets", help="print the synthetic benchmark statistics")
     datasets.add_argument("--scale", type=float, default=0.25, help="dataset size multiplier")
+
+    export = subparsers.add_parser(
+        "export-snapshot",
+        help="train a (backbone, alignment) pair and export its embedding snapshot",
+    )
+    export.add_argument("--output", "-o", required=True, help="destination .npz path")
+    export.add_argument(
+        "--dataset", default="amazon-book", choices=sorted(BENCHMARKS), help="synthetic benchmark"
+    )
+    export.add_argument("--backbone", default="lightgcn", help="backbone identifier (e.g. lightgcn, mf)")
+    export.add_argument(
+        "--variant",
+        default="darec",
+        help="alignment variant: baseline, rlmrec-con, rlmrec-gen, kar or darec",
+    )
+    _add_scale_arguments(export)
+
+    recommend = subparsers.add_parser(
+        "recommend",
+        help="serve top-K recommendations from a snapshot (no model code involved)",
+    )
+    recommend.add_argument("--snapshot", "-s", required=True, help="path to an exported .npz snapshot")
+    recommend.add_argument(
+        "--user",
+        "-u",
+        type=int,
+        action="append",
+        required=True,
+        help="user id to serve (repeat for several users)",
+    )
+    recommend.add_argument("-k", "--top-k", type=int, default=10, help="list length")
+    recommend.add_argument(
+        "--index",
+        choices=("exact", "ivf"),
+        default="exact",
+        help="retrieval strategy: exact blockwise scoring or IVF approximate",
+    )
+    recommend.add_argument(
+        "--n-probe", type=int, default=None, help="IVF cells probed per query (default: self-tuned)"
+    )
+    recommend.add_argument(
+        "--include-seen",
+        action="store_true",
+        help="do not mask the user's training items out of the results",
+    )
 
     return parser
 
@@ -55,16 +109,19 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    scale = ExperimentScale(
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    return ExperimentScale(
         dataset_scale=args.dataset_scale,
         epochs=args.epochs,
         embedding_dim=args.embedding_dim,
         llm_dim=args.llm_dim,
         seed=args.seed,
     )
+
+
+def _command_run(args: argparse.Namespace) -> int:
     experiment = get_experiment(args.experiment)
-    rows = experiment.runner(scale=scale)
+    rows = experiment.runner(scale=_scale_from_args(args))
     print_table(rows, title=f"{experiment.artefact} — {experiment.description}")
     return 0
 
@@ -78,6 +135,56 @@ def _command_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_export_snapshot(args: argparse.Namespace) -> int:
+    from .experiments.common import run_single
+    from .serve import create_snapshot, save_snapshot
+
+    model, result = run_single(
+        args.backbone, args.variant, args.dataset, scale=_scale_from_args(args)
+    )
+    snapshot = create_snapshot(model, extra_metadata={"test_metrics": result.metrics})
+    path = save_snapshot(snapshot, args.output)
+    print(
+        f"wrote {path} — model={snapshot.metadata['model']} dataset={snapshot.metadata['dataset']} "
+        f"users={snapshot.num_users} items={snapshot.num_items} dim={snapshot.dim} "
+        f"id={snapshot.snapshot_id}"
+    )
+    return 0
+
+
+def _command_recommend(args: argparse.Namespace) -> int:
+    # Serving path: loads the snapshot and ranks with repro.serve only — the
+    # training model is never instantiated.
+    from .serve import IVFIndex, RecommendationService, load_snapshot
+
+    snapshot = load_snapshot(args.snapshot)
+    index = None
+    if args.index == "ivf":
+        index = IVFIndex(snapshot.item_embeddings, n_probe=args.n_probe)
+    service = RecommendationService(
+        snapshot,
+        index=index,
+        default_k=args.top_k,
+        mask_train=not args.include_seen,
+    )
+    rows = []
+    for recommendation in service.recommend_many(args.user, k=args.top_k):
+        rows.append(
+            {
+                "user": recommendation.user_id,
+                "source": recommendation.source,
+                "items": " ".join(str(item) for item in recommendation.items),
+                "scores": " ".join(f"{score:.3f}" for score in recommendation.scores),
+            }
+        )
+    print_table(
+        rows,
+        columns=["user", "source", "items", "scores"],
+        title=f"top-{args.top_k} from {snapshot.metadata['model']}@{snapshot.snapshot_id} ({args.index})",
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro``; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -87,4 +194,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "datasets":
         return _command_datasets(args)
+    if args.command == "export-snapshot":
+        return _command_export_snapshot(args)
+    if args.command == "recommend":
+        return _command_recommend(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

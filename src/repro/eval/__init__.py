@@ -9,6 +9,7 @@ from .metrics import (
     rank_metrics,
 )
 from .protocol import EvaluationResult, RankingEvaluator, evaluate_scores
+from .topk import topk, topk_indices
 from .significance import SignificanceResult, paired_t_test, permutation_test, compare_results
 
 __all__ = [
@@ -21,6 +22,8 @@ __all__ = [
     "EvaluationResult",
     "RankingEvaluator",
     "evaluate_scores",
+    "topk",
+    "topk_indices",
     "SignificanceResult",
     "paired_t_test",
     "permutation_test",

@@ -3,6 +3,10 @@
 All metrics follow the all-ranking protocol of the paper: for every test user
 the model ranks *every* item the user has not interacted with in training, and
 the top-K list is compared against the held-out positives.
+
+The per-user functions keep their scalar API but are vectorised internally:
+membership of the top-K list in the relevant set is a single ``np.isin`` call
+rather than a Python loop over a ``set``.
 """
 
 from __future__ import annotations
@@ -19,55 +23,60 @@ __all__ = [
 ]
 
 
-def _validate(recommended: np.ndarray, relevant: np.ndarray, k: int) -> tuple[np.ndarray, set]:
+def _validate(recommended: np.ndarray, relevant: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     if k <= 0:
         raise ValueError("k must be positive")
     recommended = np.asarray(recommended)[:k]
-    return recommended, set(np.asarray(relevant).tolist())
+    # np.unique mirrors the former set() semantics: duplicates in the relevant
+    # list must not inflate the denominator.
+    return recommended, np.unique(np.asarray(relevant))
+
+
+def _hits(top_k: np.ndarray, relevant: np.ndarray) -> np.ndarray:
+    """Boolean mask marking which of the top-K entries are relevant."""
+    return np.isin(top_k, relevant)
 
 
 def recall_at_k(recommended: np.ndarray, relevant: np.ndarray, k: int) -> float:
     """Fraction of the relevant items that appear in the top-K list."""
-    top_k, relevant_set = _validate(recommended, relevant, k)
-    if not relevant_set:
+    top_k, relevant = _validate(recommended, relevant, k)
+    if not relevant.size:
         return 0.0
-    hits = sum(1 for item in top_k if item in relevant_set)
-    return hits / len(relevant_set)
+    return int(_hits(top_k, relevant).sum()) / relevant.size
 
 
 def precision_at_k(recommended: np.ndarray, relevant: np.ndarray, k: int) -> float:
     """Fraction of the top-K list that is relevant."""
-    top_k, relevant_set = _validate(recommended, relevant, k)
-    if not relevant_set:
+    top_k, relevant = _validate(recommended, relevant, k)
+    if not relevant.size:
         return 0.0
-    hits = sum(1 for item in top_k if item in relevant_set)
-    return hits / k
+    return int(_hits(top_k, relevant).sum()) / k
 
 
 def hit_rate_at_k(recommended: np.ndarray, relevant: np.ndarray, k: int) -> float:
     """1.0 if at least one relevant item is in the top-K list."""
-    top_k, relevant_set = _validate(recommended, relevant, k)
-    return 1.0 if any(item in relevant_set for item in top_k) else 0.0
+    top_k, relevant = _validate(recommended, relevant, k)
+    return 1.0 if _hits(top_k, relevant).any() else 0.0
 
 
 def mrr_at_k(recommended: np.ndarray, relevant: np.ndarray, k: int) -> float:
     """Reciprocal rank of the first relevant item within the top-K list."""
-    top_k, relevant_set = _validate(recommended, relevant, k)
-    for position, item in enumerate(top_k, start=1):
-        if item in relevant_set:
-            return 1.0 / position
-    return 0.0
+    top_k, relevant = _validate(recommended, relevant, k)
+    hits = _hits(top_k, relevant)
+    if not hits.any():
+        return 0.0
+    return 1.0 / (int(np.argmax(hits)) + 1)
 
 
 def ndcg_at_k(recommended: np.ndarray, relevant: np.ndarray, k: int) -> float:
     """Normalised discounted cumulative gain with binary relevance."""
-    top_k, relevant_set = _validate(recommended, relevant, k)
-    if not relevant_set:
+    top_k, relevant = _validate(recommended, relevant, k)
+    if not relevant.size:
         return 0.0
-    gains = np.array([1.0 if item in relevant_set else 0.0 for item in top_k])
+    gains = _hits(top_k, relevant).astype(np.float64)
     discounts = 1.0 / np.log2(np.arange(2, len(gains) + 2))
     dcg = float(np.sum(gains * discounts))
-    ideal_hits = min(len(relevant_set), k)
+    ideal_hits = min(relevant.size, k)
     ideal_discounts = 1.0 / np.log2(np.arange(2, ideal_hits + 2))
     idcg = float(np.sum(ideal_discounts))
     return dcg / idcg if idcg > 0 else 0.0

@@ -8,8 +8,11 @@ import numpy as np
 
 from ..data.interactions import InteractionDataset
 from .metrics import ndcg_at_k, recall_at_k
+from .topk import topk_indices
 
 __all__ = ["EvaluationResult", "RankingEvaluator", "evaluate_scores"]
+
+_EMPTY_ITEMS = np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -53,14 +56,21 @@ def evaluate_scores(
     per_user: dict[str, list[float]] = {f"recall@{k}": [] for k in ks}
     per_user.update({f"ndcg@{k}": [] for k in ks})
 
-    for user, relevant in positives.items():
-        user_scores = scores[user].copy()
-        if mask_train:
-            seen = train_positives.get(user)
-            if seen is not None and len(seen):
-                user_scores[seen] = -np.inf
-        top_k = np.argpartition(-user_scores, min(max_k, len(user_scores) - 1))[:max_k]
-        top_k = top_k[np.argsort(-user_scores[top_k])]
+    users = np.fromiter(positives.keys(), dtype=np.int64, count=len(positives))
+    user_scores = scores[users]  # advanced indexing already yields a fresh array
+    if mask_train:
+        seen_lists = [train_positives.get(int(user), _EMPTY_ITEMS) for user in users]
+        counts = np.array([len(seen) for seen in seen_lists], dtype=np.int64)
+        if counts.sum():
+            rows = np.repeat(np.arange(len(users)), counts)
+            cols = np.concatenate([seen for seen in seen_lists if len(seen)])
+            user_scores[rows, cols] = -np.inf
+    # One batched argpartition across all evaluated users; per-row results are
+    # bit-identical to the former per-user selection loop.
+    top_lists = topk_indices(user_scores, max_k)
+
+    for row, relevant in enumerate(positives.values()):
+        top_k = top_lists[row]
         for k in ks:
             per_user[f"recall@{k}"].append(recall_at_k(top_k, relevant, k))
             per_user[f"ndcg@{k}"].append(ndcg_at_k(top_k, relevant, k))

@@ -1,0 +1,62 @@
+"""Shared top-K selection kernel.
+
+Both the offline all-ranking evaluator (:mod:`repro.eval.protocol`) and the
+online serving layer (:mod:`repro.serve`) rank candidates with the functions in
+this module, so the two paths cannot drift apart.  Selection uses
+``np.argpartition`` (O(n) introselect per row) instead of a full ``argsort``
+(O(n log n)); only the selected ``k`` entries are then sorted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["topk_indices", "topk"]
+
+
+def topk_indices(scores: np.ndarray, k: int, sort: bool = True) -> np.ndarray:
+    """Indices of the ``k`` largest entries per row, in descending score order.
+
+    Parameters
+    ----------
+    scores:
+        1-D array of ``n`` scores or 2-D array of shape ``(rows, n)``.
+    k:
+        Number of entries to select.  When ``k >= n`` all ``n`` indices are
+        returned (the result is never padded).
+    sort:
+        When ``True`` (default) the selected indices are ordered by descending
+        score; when ``False`` they arrive in the arbitrary order produced by
+        the partition, which is cheaper if the caller re-ranks anyway.
+
+    Returns
+    -------
+    Array of shape ``(min(k, n),)`` or ``(rows, min(k, n))``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    scores = np.asarray(scores)
+    if scores.ndim not in (1, 2):
+        raise ValueError("scores must be a 1-D or 2-D array")
+    n = scores.shape[-1]
+    if n == 0:
+        raise ValueError("cannot select top-k of zero candidates")
+    k = min(k, n)
+    negated = -scores
+    # The partition path is used even when k == n so that tie-breaking is
+    # bit-identical for every k; introselect on each row of a 2-D array matches
+    # a per-row 1-D call exactly.
+    kth = min(k, n - 1)
+    selected = np.argpartition(negated, kth, axis=-1)[..., :k]
+    if not sort:
+        return selected
+    selected_scores = np.take_along_axis(negated, selected, axis=-1)
+    order = np.argsort(selected_scores, axis=-1)
+    return np.take_along_axis(selected, order, axis=-1)
+
+
+def topk(scores: np.ndarray, k: int, sort: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Like :func:`topk_indices` but also returns the selected scores."""
+    indices = topk_indices(scores, k, sort=sort)
+    values = np.take_along_axis(np.asarray(scores), indices, axis=-1)
+    return indices, values

@@ -1,0 +1,342 @@
+"""Online recommendation service: batching, caching and cold-start fallback.
+
+:class:`RecommendationService` is the top of the serving stack.  It owns a
+snapshot and an index (exact or IVF), and adds the concerns a real serving
+process needs on top of raw retrieval:
+
+* **micro-batching** — concurrent single-user queries are buffered and
+  answered by one batched matmul (``submit()`` / ``flush()``, or implicitly
+  through ``recommend_many``), amortising per-query overhead;
+* **LRU result cache** — repeated queries for the same ``(user, k)`` are
+  served from memory; the cache is invalidated atomically when a new snapshot
+  is swapped in;
+* **cold-start fallback** — user ids unknown to the snapshot (or, optionally,
+  users with no training history) receive the global popularity ranking
+  instead of garbage embeddings.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .retrieval import PAD_INDEX, ExactIndex, Retriever
+from .snapshot import EmbeddingSnapshot
+
+__all__ = ["LRUCache", "Recommendation", "PendingRecommendation", "RecommendationService"]
+
+
+class LRUCache:
+    """A small thread-safe least-recently-used mapping with hit statistics."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 0:
+            raise ValueError("maxsize must be non-negative")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, value) -> None:
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One served top-K list."""
+
+    user_id: int
+    items: np.ndarray
+    scores: np.ndarray
+    source: str  # "model" | "popularity"
+    snapshot_id: str
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class PendingRecommendation:
+    """Handle for a query waiting in the micro-batch buffer.
+
+    ``result()`` forces a flush of the owning service's buffer if the batch
+    has not been executed yet, so callers can never deadlock on their own
+    query.
+    """
+
+    def __init__(self, service: "RecommendationService") -> None:
+        self._service = service
+        self._result: Recommendation | None = None
+        self._ready = threading.Event()
+
+    def _fulfil(self, result: Recommendation) -> None:
+        self._result = result
+        self._ready.set()
+
+    @property
+    def ready(self) -> bool:
+        return self._ready.is_set()
+
+    def result(self) -> Recommendation:
+        if not self._ready.is_set():
+            self._service.flush()
+        if self._result is None:  # pragma: no cover - defensive
+            raise RuntimeError("micro-batch flush did not fulfil this query")
+        return self._result
+
+
+@dataclass
+class ServiceStats:
+    """Operational counters exposed by :class:`RecommendationService`."""
+
+    queries: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    fallbacks: int = 0
+    snapshot_swaps: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "fallbacks": self.fallbacks,
+            "snapshot_swaps": self.snapshot_swaps,
+        }
+
+
+class RecommendationService:
+    """Serve top-K recommendations from an embedding snapshot.
+
+    Parameters
+    ----------
+    snapshot:
+        The :class:`EmbeddingSnapshot` to serve from.
+    index:
+        Optional pre-built index over ``snapshot.item_embeddings``.  Mutually
+        exclusive with ``index_factory``.
+    index_factory:
+        ``callable(item_embeddings) -> index`` used to (re)build the index,
+        including after :meth:`swap_snapshot`.  Defaults to exact retrieval.
+    default_k:
+        List length when a query does not specify one.
+    cache_size:
+        Maximum number of cached ``(user, k)`` results (0 disables caching).
+    batch_size:
+        Micro-batch buffer capacity; the buffer auto-flushes when full.
+    mask_train:
+        Whether to exclude each user's training items from results.
+    cold_start_min_history:
+        Known users with fewer training interactions than this also fall back
+        to the popularity ranking (0 restricts fallback to unknown ids).
+    """
+
+    def __init__(
+        self,
+        snapshot: EmbeddingSnapshot,
+        index=None,
+        index_factory=None,
+        default_k: int = 10,
+        cache_size: int = 1024,
+        batch_size: int = 64,
+        mask_train: bool = True,
+        cold_start_min_history: int = 1,
+    ) -> None:
+        if index is not None and index_factory is not None:
+            raise ValueError("pass either a pre-built index or an index_factory, not both")
+        if default_k <= 0:
+            raise ValueError("default_k must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.default_k = default_k
+        self.batch_size = batch_size
+        self.mask_train = mask_train
+        self.cold_start_min_history = cold_start_min_history
+        self._index_factory = index_factory or (lambda items: ExactIndex(items))
+        self._cache = LRUCache(cache_size)
+        self._lock = threading.RLock()
+        self._pending: list[tuple[int, int, PendingRecommendation]] = []
+        self.stats = ServiceStats()
+        self._install(snapshot, index)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot lifecycle
+    # ------------------------------------------------------------------ #
+    def _install(self, snapshot: EmbeddingSnapshot, index=None) -> None:
+        self.snapshot = snapshot
+        self.index = index if index is not None else self._index_factory(snapshot.item_embeddings)
+        self.retriever = Retriever(snapshot, self.index, mask_train=self.mask_train)
+        order = np.argsort(-snapshot.item_popularity.astype(np.float64), kind="stable")
+        self._popularity_order = order.astype(np.int64)
+
+    def swap_snapshot(self, snapshot: EmbeddingSnapshot, index=None) -> None:
+        """Atomically replace the serving snapshot.
+
+        Pending micro-batched queries are flushed against the *old* snapshot
+        first (they were accepted under it), then the index is rebuilt and the
+        result cache invalidated.
+        """
+        with self._lock:
+            self.flush()
+            self._install(snapshot, index)
+            self._cache.clear()
+            self.stats.snapshot_swaps += 1
+
+    @property
+    def cache(self) -> LRUCache:
+        return self._cache
+
+    # ------------------------------------------------------------------ #
+    # Query paths
+    # ------------------------------------------------------------------ #
+    def _is_cold(self, user_id: int) -> bool:
+        if user_id < 0 or user_id >= self.snapshot.num_users:
+            return True
+        if self.cold_start_min_history <= 0:
+            return False
+        start, stop = self.snapshot.train_indptr[user_id], self.snapshot.train_indptr[user_id + 1]
+        return int(stop - start) < self.cold_start_min_history
+
+    def _popularity_fallback(self, user_id: int, k: int) -> Recommendation:
+        order = self._popularity_order
+        if self.mask_train and 0 <= user_id < self.snapshot.num_users:
+            # Cold-but-known users keep the no-seen-items contract.
+            seen = self.snapshot.train_items(user_id)
+            if seen.size:
+                order = order[~np.isin(order, seen)]
+        items = order[:k]
+        scores = self.snapshot.item_popularity[items].astype(np.float64)
+        self.stats.fallbacks += 1
+        return Recommendation(
+            user_id=int(user_id),
+            items=items.copy(),
+            scores=scores,
+            source="popularity",
+            snapshot_id=self.snapshot.snapshot_id,
+        )
+
+    def recommend(self, user_id: int, k: int | None = None) -> Recommendation:
+        """Serve one user immediately (cache → fallback → single-row batch)."""
+        return self.recommend_many([user_id], k=k)[0]
+
+    def recommend_many(self, user_ids, k: int | None = None) -> list[Recommendation]:
+        """Serve several users with at most one index search (micro-batch).
+
+        Cached and cold-start users are answered without touching the index;
+        the remaining users share a single batched ``search`` call.
+        """
+        k = self.default_k if k is None else int(k)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        user_ids = [int(user) for user in np.atleast_1d(np.asarray(user_ids, dtype=np.int64))]
+        with self._lock:
+            results: dict[int, Recommendation] = {}
+            warm: list[int] = []
+            queued = set()
+            for user in user_ids:
+                if user in results or user in queued:
+                    continue
+                cached = self._cache.get((user, k))
+                if cached is not None:
+                    results[user] = cached
+                elif self._is_cold(user):
+                    results[user] = self._popularity_fallback(user, k)
+                else:
+                    warm.append(user)
+                    queued.add(user)
+            if warm:
+                batch = np.asarray(warm, dtype=np.int64)
+                indices, scores = self.retriever.topk_for_users(batch, k)
+                self.stats.batches += 1
+                self.stats.batched_queries += len(warm)
+                for row, user in enumerate(warm):
+                    valid = indices[row] != PAD_INDEX
+                    recommendation = Recommendation(
+                        user_id=user,
+                        items=indices[row][valid],
+                        scores=scores[row][valid],
+                        source="model",
+                        snapshot_id=self.snapshot.snapshot_id,
+                    )
+                    results[user] = recommendation
+                    self._cache.put((user, k), recommendation)
+            self.stats.queries += len(user_ids)
+            return [results[user] for user in user_ids]
+
+    # ------------------------------------------------------------------ #
+    # Micro-batch buffer (explicit submit/flush for concurrent callers)
+    # ------------------------------------------------------------------ #
+    def submit(self, user_id: int, k: int | None = None) -> PendingRecommendation:
+        """Queue a query; it executes at the next flush (or when the buffer
+        fills), sharing one matmul with every other pending query."""
+        k = self.default_k if k is None else int(k)
+        if k <= 0:
+            # Reject here: a bad k inside the buffer would poison the whole
+            # flush and strand every other pending ticket.
+            raise ValueError("k must be positive")
+        pending = PendingRecommendation(self)
+        with self._lock:
+            self._pending.append((int(user_id), k, pending))
+            should_flush = len(self._pending) >= self.batch_size
+        if should_flush:
+            self.flush()
+        return pending
+
+    def flush(self) -> int:
+        """Execute all buffered queries; returns how many were served."""
+        with self._lock:
+            pending, self._pending = self._pending, []
+            if not pending:
+                return 0
+            # Group by k so each group is a single batched retrieval.
+            by_k: dict[int, list[tuple[int, PendingRecommendation]]] = {}
+            for user, k, ticket in pending:
+                by_k.setdefault(k, []).append((user, ticket))
+            try:
+                for k, entries in by_k.items():
+                    users = [user for user, _ in entries]
+                    served = self.recommend_many(users, k=k)
+                    # recommend_many returns one entry per *requested* position.
+                    for (user, ticket), recommendation in zip(entries, served):
+                        ticket._fulfil(recommendation)
+            finally:
+                # If one group blew up, re-queue the tickets that were never
+                # fulfilled instead of silently stranding them.
+                unserved = [
+                    (user, k, ticket)
+                    for user, k, ticket in pending
+                    if not ticket.ready
+                ]
+                if unserved:
+                    self._pending = unserved + self._pending
+            return len(pending) - len(unserved)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

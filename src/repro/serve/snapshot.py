@@ -1,0 +1,247 @@
+"""Embedding snapshots: frozen model state for the online serving layer.
+
+A snapshot captures everything the serving path needs — the propagated user and
+item embedding tables, the train-interaction lists used for masking, and the
+item popularity counts used for cold-start fallback — in a single versioned
+``.npz`` artifact.  Loading a snapshot requires **no model code**: the file is
+plain NumPy arrays plus a JSON metadata string, so a serving process can depend
+on :mod:`repro.serve` alone.
+
+See the :mod:`repro.serve` package docstring for the on-disk format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .. import __version__
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "EmbeddingSnapshot",
+    "create_snapshot",
+    "build_snapshot",
+    "save_snapshot",
+    "load_snapshot",
+]
+
+#: Bump when the on-disk layout changes; loaders reject unknown major versions.
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+@dataclass
+class EmbeddingSnapshot:
+    """Frozen user/item embeddings plus the serving-side bookkeeping arrays.
+
+    Attributes
+    ----------
+    user_embeddings, item_embeddings:
+        Post-propagation tables; ``user_embeddings @ item_embeddings.T``
+        reproduces the model's ``score_all()`` matrix exactly.
+    train_indptr, train_indices:
+        CSR layout of each user's training items (``train_indices`` holds the
+        sorted item ids of user ``u`` in the half-open slice
+        ``train_indptr[u]:train_indptr[u + 1]``); used to mask already-seen
+        items out of recommendations.
+    item_popularity:
+        Training interaction count per item, the cold-start fallback ranking.
+    metadata:
+        JSON-serialisable provenance: format version, producing model and
+        dataset, shapes, creation time and a content-addressed ``snapshot_id``.
+    """
+
+    user_embeddings: np.ndarray
+    item_embeddings: np.ndarray
+    train_indptr: np.ndarray
+    train_indices: np.ndarray
+    item_popularity: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.user_embeddings = np.atleast_2d(np.asarray(self.user_embeddings))
+        self.item_embeddings = np.atleast_2d(np.asarray(self.item_embeddings))
+        self.train_indptr = np.asarray(self.train_indptr, dtype=np.int64)
+        self.train_indices = np.asarray(self.train_indices, dtype=np.int64)
+        self.item_popularity = np.asarray(self.item_popularity)
+        if self.user_embeddings.shape[1] != self.item_embeddings.shape[1]:
+            raise ValueError(
+                "user and item embeddings disagree on dimensionality: "
+                f"{self.user_embeddings.shape[1]} vs {self.item_embeddings.shape[1]}"
+            )
+        if len(self.train_indptr) != self.num_users + 1:
+            raise ValueError("train_indptr must have num_users + 1 entries")
+        if len(self.item_popularity) != self.num_items:
+            raise ValueError("item_popularity must have one entry per item")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        return self.user_embeddings.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        return self.item_embeddings.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.user_embeddings.shape[1]
+
+    @property
+    def snapshot_id(self) -> str:
+        """Content hash of the embedding tables; changes iff the model did."""
+        return self.metadata["snapshot_id"]
+
+    def train_items(self, user: int) -> np.ndarray:
+        """Sorted training items of ``user`` (empty for history-less users)."""
+        start, stop = self.train_indptr[user], self.train_indptr[user + 1]
+        return self.train_indices[start:stop]
+
+    def has_history(self, user: int) -> bool:
+        return bool(self.train_indptr[user + 1] > self.train_indptr[user])
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        return save_snapshot(self, path)
+
+
+def _content_hash(user_embeddings: np.ndarray, item_embeddings: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(user_embeddings).tobytes())
+    digest.update(np.ascontiguousarray(item_embeddings).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def _train_csr(train_pairs: np.ndarray, num_users: int, num_items: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR train lists plus per-item popularity from an ``(n, 2)`` pair array."""
+    train_pairs = np.asarray(train_pairs, dtype=np.int64)
+    if train_pairs.size == 0:
+        train_pairs = train_pairs.reshape(0, 2)
+    popularity = np.bincount(train_pairs[:, 1], minlength=num_items)
+    unique_pairs = np.unique(train_pairs, axis=0) if len(train_pairs) else train_pairs
+    counts = np.bincount(unique_pairs[:, 0], minlength=num_users)
+    indptr = np.concatenate([[0], np.cumsum(counts)])
+    return indptr.astype(np.int64), unique_pairs[:, 1].copy(), popularity.astype(np.int64)
+
+
+def build_snapshot(
+    user_embeddings: np.ndarray,
+    item_embeddings: np.ndarray,
+    train_pairs: np.ndarray | None = None,
+    model_name: str = "external",
+    dataset_name: str = "unknown",
+    extra_metadata: dict | None = None,
+) -> EmbeddingSnapshot:
+    """Assemble a snapshot from raw arrays (no model object required).
+
+    ``train_pairs`` is an ``(n, 2)`` array of (user, item) training
+    interactions; omit it for embeddings with no interaction history (masking
+    and popularity fallback then degrade gracefully to no-ops).
+    """
+    user_embeddings = np.atleast_2d(np.asarray(user_embeddings))
+    item_embeddings = np.atleast_2d(np.asarray(item_embeddings))
+    num_users, num_items = user_embeddings.shape[0], item_embeddings.shape[0]
+    if train_pairs is None:
+        train_pairs = np.empty((0, 2), dtype=np.int64)
+    indptr, indices, popularity = _train_csr(train_pairs, num_users, num_items)
+    metadata = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "repro_version": __version__,
+        "model": model_name,
+        "dataset": dataset_name,
+        "num_users": num_users,
+        "num_items": num_items,
+        "embedding_dim": user_embeddings.shape[1],
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "snapshot_id": _content_hash(user_embeddings, item_embeddings),
+    }
+    if extra_metadata:
+        metadata.update(extra_metadata)
+    return EmbeddingSnapshot(
+        user_embeddings=user_embeddings,
+        item_embeddings=item_embeddings,
+        train_indptr=indptr,
+        train_indices=indices,
+        item_popularity=popularity,
+        metadata=metadata,
+    )
+
+
+def create_snapshot(model, model_name: str | None = None, extra_metadata: dict | None = None) -> EmbeddingSnapshot:
+    """Export the frozen serving state of a trained recommender.
+
+    Works with any object exposing ``propagate()`` (post-message-passing user
+    and item tables) and a ``dataset`` attribute — both ``BaseRecommender``
+    backbones and ``AlignedRecommender`` composites qualify.  The exported
+    tables include every propagation and alignment transform, so serving
+    scores match offline ``score_all()`` exactly.
+    """
+    from ..nn import no_grad  # local import keeps snapshot *loading* model-free
+
+    dataset = model.dataset
+    with no_grad():
+        users, items = model.propagate()
+    name = model_name or getattr(model, "name", type(model).__name__)
+    return build_snapshot(
+        np.array(users.data, copy=True),
+        np.array(items.data, copy=True),
+        train_pairs=dataset.train,
+        model_name=str(name),
+        dataset_name=dataset.name,
+        extra_metadata=extra_metadata,
+    )
+
+
+def save_snapshot(snapshot: EmbeddingSnapshot, path: str | Path) -> Path:
+    """Write ``snapshot`` to ``path`` as a compressed ``.npz`` archive."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        user_embeddings=snapshot.user_embeddings,
+        item_embeddings=snapshot.item_embeddings,
+        train_indptr=snapshot.train_indptr,
+        train_indices=snapshot.train_indices,
+        item_popularity=snapshot.item_popularity,
+        metadata_json=np.array(json.dumps(snapshot.metadata)),
+    )
+    return path
+
+
+def load_snapshot(path: str | Path) -> EmbeddingSnapshot:
+    """Load a snapshot produced by :func:`save_snapshot`.
+
+    Depends only on NumPy — no model, trainer or dataset code is imported —
+    so a serving process can run from the artifact alone.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            metadata = json.loads(str(archive["metadata_json"]))
+        except KeyError as error:
+            raise ValueError(f"{path} is not a repro embedding snapshot") from error
+        version = int(metadata.get("format_version", -1))
+        if version > SNAPSHOT_FORMAT_VERSION or version < 1:
+            raise ValueError(
+                f"snapshot format version {version} is not supported by this "
+                f"build (expected 1..{SNAPSHOT_FORMAT_VERSION})"
+            )
+        return EmbeddingSnapshot(
+            user_embeddings=archive["user_embeddings"],
+            item_embeddings=archive["item_embeddings"],
+            train_indptr=archive["train_indptr"],
+            train_indices=archive["train_indices"],
+            item_popularity=archive["item_popularity"],
+            metadata=metadata,
+        )

@@ -81,6 +81,68 @@ class TestKMeans:
         np.testing.assert_allclose(result.centers[0], points.mean(axis=0), atol=1e-8)
 
 
+class TestKMeansEdgeCases:
+    """Degenerate inputs the IVF serving index must survive (see repro.serve)."""
+
+    def test_k_equals_n_points(self):
+        points = np.random.default_rng(2).normal(size=(7, 3))
+        result = kmeans(points, 7, seed=0)
+        assert result.centers.shape == (7, 3)
+        assert result.inertia == pytest.approx(0.0, abs=1e-18)
+        # Every point is its own centre, so the assignment is a bijection.
+        assert len(np.unique(result.labels)) == 7
+
+    def test_k_far_exceeds_n_points(self):
+        points = np.random.default_rng(3).normal(size=(4, 2))
+        result = kmeans(points, 25, seed=1)
+        assert result.centers.shape == (25, 2)
+        assert np.isfinite(result.centers).all()
+        assert result.labels.min() >= 0 and result.labels.max() < 25
+        assert result.inertia == pytest.approx(0.0, abs=1e-18)
+
+    def test_all_identical_points_many_clusters(self):
+        points = np.full((30, 4), 2.5)
+        result = kmeans(points, 8, seed=0)
+        assert np.isfinite(result.centers).all()
+        np.testing.assert_allclose(result.centers, 2.5)
+        assert result.inertia == pytest.approx(0.0, abs=1e-18)
+
+    def test_duplicate_heavy_data_triggers_empty_cluster_reseed(self):
+        # 28 copies of one point plus two distinct outliers with k=3: at least
+        # one initial centre duplicates another, leaving an empty cluster that
+        # the Lloyd loop must re-seed rather than emit NaNs.
+        points = np.concatenate(
+            [np.zeros((28, 2)), np.array([[10.0, 10.0]]), np.array([[-10.0, 4.0]])]
+        )
+        for seed in range(8):
+            result = kmeans(points, 3, seed=seed)
+            assert np.isfinite(result.centers).all()
+            assert result.labels.shape == (30,)
+            # The re-seeded solution must isolate the two outliers perfectly.
+            assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_cluster_reassignment_reduces_inertia(self):
+        # Two tight, far-apart blobs; k=4 guarantees surplus centres that
+        # would empty out without re-seeding at the farthest point.
+        rng = np.random.default_rng(9)
+        blob_a = rng.normal(0.0, 0.05, size=(20, 2))
+        blob_b = rng.normal(0.0, 0.05, size=(20, 2)) + 100.0
+        points = np.concatenate([blob_a, blob_b])
+        result = kmeans(points, 4, seed=0)
+        assert np.isfinite(result.centers).all()
+        two = kmeans(points, 2, seed=0)
+        assert result.inertia <= two.inertia + 1e-9
+        # No centre may be stranded between the blobs.
+        consistent = assign_to_centers(points, result.centers)
+        np.testing.assert_array_equal(consistent, result.labels)
+
+    def test_single_point(self):
+        points = np.array([[1.0, 2.0, 3.0]])
+        result = kmeans(points, 1, seed=0)
+        np.testing.assert_allclose(result.centers[0], points[0])
+        assert result.inertia == pytest.approx(0.0, abs=1e-18)
+
+
 class TestAssignToCenters:
     def test_assigns_to_nearest(self):
         centers = np.array([[0.0, 0.0], [10.0, 10.0]])

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 
 
@@ -28,6 +29,17 @@ class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_invalid_subcommand_exit_code(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["definitely-not-a-command"])
+        assert excinfo.value.code == 2
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
 
 
 class TestMain:
@@ -66,3 +78,70 @@ class TestMain:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "recall@10" in output
+
+
+class TestServingCommands:
+    @pytest.fixture(scope="class")
+    def snapshot_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("snapshots") / "cli_model.npz"
+        exit_code = main(
+            [
+                "export-snapshot",
+                "--output",
+                str(path),
+                "--dataset",
+                "amazon-book",
+                "--backbone",
+                "bpr-mf",
+                "--variant",
+                "baseline",
+                "--dataset-scale",
+                "0.15",
+                "--epochs",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        assert path.exists()
+        return path
+
+    def test_export_prints_summary(self, snapshot_path, capsys):
+        # The fixture already exported; re-run to capture the summary line.
+        assert main(
+            [
+                "export-snapshot",
+                "-o",
+                str(snapshot_path),
+                "--backbone",
+                "bpr-mf",
+                "--variant",
+                "baseline",
+                "--dataset-scale",
+                "0.15",
+                "--epochs",
+                "1",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "wrote" in output and "id=" in output
+
+    def test_recommend_serves_without_model_code(self, snapshot_path, capsys):
+        assert main(["recommend", "--snapshot", str(snapshot_path), "--user", "0", "-k", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "model" in output
+        assert "top-5" in output
+
+    def test_recommend_ivf_index(self, snapshot_path, capsys):
+        exit_code = main(
+            ["recommend", "-s", str(snapshot_path), "-u", "0", "-u", "3", "-k", "5", "--index", "ivf"]
+        )
+        assert exit_code == 0
+        assert "(ivf)" in capsys.readouterr().out
+
+    def test_recommend_unknown_user_falls_back(self, snapshot_path, capsys):
+        assert main(["recommend", "-s", str(snapshot_path), "-u", "999999", "-k", "3"]) == 0
+        assert "popularity" in capsys.readouterr().out
+
+    def test_recommend_requires_snapshot(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "--user", "0"])

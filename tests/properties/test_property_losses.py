@@ -40,7 +40,9 @@ class TestLossInvariants:
     @given(nonzero_matrices())
     def test_orthogonality_self_is_one(self, a):
         value = orthogonality_loss(Tensor(a), Tensor(a.copy())).item()
-        np.testing.assert_allclose(value, 1.0, atol=1e-9)
+        # l2_normalize guards with eps=1e-12 on the *squared* norm; rows at the
+        # 1e-3 norm floor therefore carry a relative error of up to ~1e-6.
+        np.testing.assert_allclose(value, 1.0, atol=5e-6)
 
     @SETTINGS
     @given(nonzero_matrices())

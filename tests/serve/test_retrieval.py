@@ -1,0 +1,146 @@
+"""Exact blockwise retrieval and the Retriever facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    PAD_INDEX,
+    ExactIndex,
+    Retriever,
+    create_snapshot,
+    exact_topk,
+    gather_csr_rows,
+)
+
+
+@pytest.fixture()
+def corpus(rng):
+    items = rng.normal(size=(120, 8))
+    queries = rng.normal(size=(17, 8))
+    return queries, items
+
+
+def brute_force(queries, items, k):
+    scores = queries @ items.T
+    order = np.argsort(-scores, axis=1)[:, :k]
+    return order, np.take_along_axis(scores, order, axis=1)
+
+
+class TestExactTopk:
+    def test_matches_brute_force(self, corpus):
+        queries, items = corpus
+        indices, scores = exact_topk(queries, items, 10)
+        ref_indices, ref_scores = brute_force(queries, items, 10)
+        np.testing.assert_array_equal(indices, ref_indices)
+        np.testing.assert_allclose(scores, ref_scores)
+
+    def test_blockwise_equals_single_block(self, corpus):
+        queries, items = corpus
+        full_indices, full_scores = exact_topk(queries, items, 9, block_size=4096)
+        for block_size in (7, 16, 50, 119):
+            indices, scores = exact_topk(queries, items, 9, block_size=block_size)
+            np.testing.assert_array_equal(indices, full_indices)
+            np.testing.assert_allclose(scores, full_scores)
+
+    def test_single_query_vector_promoted(self, corpus):
+        queries, items = corpus
+        indices, scores = exact_topk(queries[0], items, 5)
+        assert indices.shape == (1, 5)
+
+    def test_k_larger_than_catalogue_pads(self, corpus):
+        queries, items = corpus
+        indices, scores = exact_topk(queries, items[:4], 6)
+        assert indices.shape == (17, 6)
+        assert (indices[:, 4:] == PAD_INDEX).all()
+        assert np.isneginf(scores[:, 4:]).all()
+        assert (indices[:, :4] != PAD_INDEX).all()
+
+    def test_exclusions_never_returned(self, corpus):
+        queries, items = corpus
+        rng = np.random.default_rng(7)
+        per_query = [rng.choice(len(items), size=15, replace=False) for _ in queries]
+        indptr = np.concatenate([[0], np.cumsum([len(e) for e in per_query])])
+        exclude = (indptr, np.concatenate(per_query))
+        for block_size in (4096, 13):
+            indices, _ = exact_topk(queries, items, 10, exclude=exclude, block_size=block_size)
+            for row, banned in enumerate(per_query):
+                returned = indices[row][indices[row] != PAD_INDEX]
+                assert not np.isin(returned, banned).any()
+
+    def test_exclusion_equals_score_masking(self, corpus):
+        queries, items = corpus
+        banned = np.arange(0, 30)
+        indptr = np.arange(len(queries) + 1) * len(banned)
+        exclude = (indptr, np.tile(banned, len(queries)))
+        indices, _ = exact_topk(queries, items, 8, exclude=exclude)
+        masked = queries @ items.T
+        masked[:, banned] = -np.inf
+        ref = np.argsort(-masked, axis=1)[:, :8]
+        np.testing.assert_array_equal(indices, ref)
+
+    def test_invalid_arguments(self, corpus):
+        queries, items = corpus
+        with pytest.raises(ValueError):
+            exact_topk(queries, items, 0)
+        with pytest.raises(ValueError):
+            exact_topk(queries, items, 5, block_size=0)
+
+
+class TestGatherCsrRows:
+    def test_selected_rows(self):
+        indptr = np.array([0, 2, 2, 5])
+        indices = np.array([4, 9, 1, 2, 3])
+        batch_indptr, batch_indices = gather_csr_rows(indptr, indices, np.array([2, 0, 1]))
+        np.testing.assert_array_equal(batch_indptr, [0, 3, 5, 5])
+        np.testing.assert_array_equal(batch_indices, [1, 2, 3, 4, 9])
+
+    def test_all_empty_rows(self):
+        indptr = np.array([0, 0, 0])
+        batch_indptr, batch_indices = gather_csr_rows(indptr, np.empty(0, dtype=np.int64), np.array([0, 1]))
+        np.testing.assert_array_equal(batch_indptr, [0, 0, 0])
+        assert batch_indices.size == 0
+
+
+class TestRetriever:
+    def test_masks_training_items(self, lightgcn_backbone, tiny_dataset):
+        snapshot = create_snapshot(lightgcn_backbone)
+        retriever = Retriever(snapshot)
+        users = np.arange(tiny_dataset.num_users)
+        indices, _ = retriever.topk_for_users(users, 10)
+        for user in users:
+            returned = indices[user][indices[user] != PAD_INDEX]
+            assert not np.isin(returned, snapshot.train_items(user)).any()
+
+    def test_masking_can_be_disabled(self, lightgcn_backbone):
+        snapshot = create_snapshot(lightgcn_backbone)
+        scores = snapshot.user_embeddings @ snapshot.item_embeddings.T
+        retriever = Retriever(snapshot, mask_train=False)
+        indices, _ = retriever.topk_for_users([0], 5)
+        ref = np.argsort(-scores[0])[:5]
+        np.testing.assert_array_equal(indices[0], ref)
+
+    def test_accepts_scalar_user(self, lightgcn_backbone):
+        snapshot = create_snapshot(lightgcn_backbone)
+        indices, scores = Retriever(snapshot).topk_for_users(3, 5)
+        assert indices.shape == (1, 5)
+
+    def test_out_of_range_user_rejected(self, lightgcn_backbone):
+        snapshot = create_snapshot(lightgcn_backbone)
+        with pytest.raises(IndexError):
+            Retriever(snapshot).topk_for_users([snapshot.num_users], 5)
+
+    def test_custom_index_is_used(self, lightgcn_backbone):
+        snapshot = create_snapshot(lightgcn_backbone)
+
+        class Recording(ExactIndex):
+            calls = 0
+
+            def search(self, queries, k, exclude=None):
+                Recording.calls += 1
+                return super().search(queries, k, exclude=exclude)
+
+        retriever = Retriever(snapshot, index=Recording(snapshot.item_embeddings))
+        retriever.topk_for_users([0, 1], 5)
+        assert Recording.calls == 1

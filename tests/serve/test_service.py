@@ -1,0 +1,280 @@
+"""RecommendationService: batching, caching, cold start, snapshot swap."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    IVFIndex,
+    LRUCache,
+    RecommendationService,
+    create_snapshot,
+)
+
+
+@pytest.fixture()
+def snapshot(lightgcn_backbone):
+    return create_snapshot(lightgcn_backbone)
+
+
+@pytest.fixture()
+def service(snapshot):
+    return RecommendationService(snapshot, default_k=8)
+
+
+class TestLRUCache:
+    def test_get_put(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" becomes the eviction victim
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_zero_size_disables(self):
+        cache = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+
+    def test_clear(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+
+
+class TestRecommend:
+    def test_matches_retriever(self, service, snapshot):
+        recommendation = service.recommend(0, k=5)
+        indices, _ = service.retriever.topk_for_users([0], 5)
+        valid = indices[0][indices[0] != -1]
+        np.testing.assert_array_equal(recommendation.items, valid)
+        assert recommendation.source == "model"
+        assert recommendation.snapshot_id == snapshot.snapshot_id
+
+    def test_never_recommends_seen_items(self, service, snapshot):
+        for user in range(snapshot.num_users):
+            recommendation = service.recommend(user, k=10)
+            if recommendation.source == "model":
+                assert not np.isin(recommendation.items, snapshot.train_items(user)).any()
+
+    def test_cache_hit_on_repeat(self, service):
+        first = service.recommend(1)
+        assert service.cache.hits == 0
+        second = service.recommend(1)
+        assert service.cache.hits == 1
+        assert first is second
+
+    def test_different_k_not_conflated(self, service):
+        a = service.recommend(1, k=3)
+        b = service.recommend(1, k=5)
+        assert len(a) == 3
+        assert len(b) == 5
+
+    def test_many_matches_single(self, snapshot):
+        batched = RecommendationService(snapshot, default_k=6, cache_size=0)
+        single = RecommendationService(snapshot, default_k=6, cache_size=0)
+        users = [3, 1, 4, 1, 5]
+        many = batched.recommend_many(users)
+        assert [r.user_id for r in many] == users
+        for user, recommendation in zip(users, many):
+            np.testing.assert_array_equal(recommendation.items, single.recommend(user).items)
+        # 5 requested positions, 4 distinct users, exactly one retrieval batch
+        assert batched.stats.batches == 1
+        assert batched.stats.batched_queries == 4
+
+    def test_invalid_k(self, service):
+        with pytest.raises(ValueError):
+            service.recommend(0, k=0)
+
+
+class TestColdStart:
+    def test_unknown_user_gets_popularity(self, service, snapshot):
+        recommendation = service.recommend(snapshot.num_users + 42, k=6)
+        assert recommendation.source == "popularity"
+        expected = np.argsort(-snapshot.item_popularity.astype(float), kind="stable")[:6]
+        np.testing.assert_array_equal(recommendation.items, expected)
+        assert service.stats.fallbacks == 1
+
+    def test_negative_user_gets_popularity(self, service):
+        assert service.recommend(-3).source == "popularity"
+
+    def test_fallback_masks_known_users_history(self, snapshot):
+        # A known-but-cold user must not be recommended their own training
+        # items even on the popularity path.
+        service = RecommendationService(
+            snapshot, default_k=10, cold_start_min_history=10_000
+        )
+        for user in range(snapshot.num_users):
+            recommendation = service.recommend(user)
+            assert recommendation.source == "popularity"
+            assert not np.isin(recommendation.items, snapshot.train_items(user)).any()
+        # Unknown users get the unfiltered ranking.
+        unfiltered = service.recommend(snapshot.num_users + 1)
+        expected = np.argsort(-snapshot.item_popularity.astype(float), kind="stable")[:10]
+        np.testing.assert_array_equal(unfiltered.items, expected)
+
+    def test_fallback_threshold_configurable(self, snapshot):
+        service = RecommendationService(
+            snapshot, default_k=5, cold_start_min_history=10_000
+        )
+        # Every user has fewer than 10k training items -> all fall back.
+        assert service.recommend(0).source == "popularity"
+        strict = RecommendationService(snapshot, default_k=5, cold_start_min_history=0)
+        assert strict.recommend(0).source == "model"
+
+
+class TestMicroBatching:
+    def test_submit_flush_matches_direct(self, snapshot):
+        service = RecommendationService(snapshot, default_k=7, cache_size=0)
+        reference = RecommendationService(snapshot, default_k=7, cache_size=0)
+        tickets = [service.submit(user) for user in (0, 2, 4)]
+        assert service.pending_count == 3
+        assert not tickets[0].ready
+        served = service.flush()
+        assert served == 3
+        assert service.pending_count == 0
+        for user, ticket in zip((0, 2, 4), tickets):
+            np.testing.assert_array_equal(
+                ticket.result().items, reference.recommend(user).items
+            )
+
+    def test_auto_flush_when_buffer_full(self, snapshot):
+        service = RecommendationService(snapshot, batch_size=2)
+        first = service.submit(0)
+        assert not first.ready
+        second = service.submit(1)
+        assert first.ready
+        assert second.ready
+
+    def test_result_forces_flush(self, snapshot):
+        service = RecommendationService(snapshot)
+        ticket = service.submit(3)
+        recommendation = ticket.result()  # no explicit flush needed
+        assert recommendation.user_id == 3
+
+    def test_mixed_k_batches(self, snapshot):
+        service = RecommendationService(snapshot, cache_size=0)
+        small = service.submit(0, k=3)
+        large = service.submit(0, k=9)
+        service.flush()
+        assert len(small.result()) == 3
+        assert len(large.result()) == 9
+
+    def test_submit_rejects_bad_k_up_front(self, snapshot):
+        # A poisoned entry in the buffer must never strand other tickets.
+        service = RecommendationService(snapshot)
+        good = service.submit(1, k=5)
+        with pytest.raises(ValueError):
+            service.submit(2, k=0)
+        assert service.flush() == 1
+        assert good.result().user_id == 1
+
+    def test_flush_requeues_tickets_on_group_failure(self, snapshot, monkeypatch):
+        service = RecommendationService(snapshot)
+        ticket = service.submit(1, k=5)
+
+        def boom(users, k=None):
+            raise RuntimeError("index exploded")
+
+        monkeypatch.setattr(service, "recommend_many", boom)
+        with pytest.raises(RuntimeError, match="index exploded"):
+            service.flush()
+        # The unserved ticket is back in the buffer, not silently lost.
+        assert service.pending_count == 1
+        monkeypatch.undo()
+        service.flush()
+        assert ticket.result().user_id == 1
+
+    def test_concurrent_submitters(self, snapshot):
+        service = RecommendationService(snapshot, batch_size=4, default_k=5)
+        results: dict[int, object] = {}
+
+        def worker(user):
+            results[user] = service.submit(user).result()
+
+        threads = [threading.Thread(target=worker, args=(user,)) for user in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 12
+        reference = RecommendationService(snapshot, default_k=5)
+        for user, recommendation in results.items():
+            np.testing.assert_array_equal(
+                recommendation.items, reference.recommend(user).items
+            )
+
+
+class TestSnapshotSwap:
+    def test_swap_invalidates_cache(self, lightgcn_backbone, snapshot):
+        service = RecommendationService(snapshot, default_k=6)
+        before = service.recommend(0)
+        assert len(service.cache) == 1
+
+        # Perturb the embeddings -> a genuinely different snapshot.
+        shifted = create_snapshot(lightgcn_backbone)
+        shifted.user_embeddings = shifted.user_embeddings[::-1].copy()
+        shifted.metadata["snapshot_id"] = "f" * 16
+        service.swap_snapshot(shifted)
+
+        assert len(service.cache) == 0
+        after = service.recommend(0)
+        assert after.snapshot_id != before.snapshot_id
+        assert service.stats.snapshot_swaps == 1
+
+    def test_swap_rebuilds_index_via_factory(self, snapshot):
+        built = []
+
+        def factory(items):
+            index = IVFIndex(items, n_probe=2)
+            built.append(index)
+            return index
+
+        service = RecommendationService(snapshot, index_factory=factory)
+        assert len(built) == 1
+        service.swap_snapshot(snapshot)
+        assert len(built) == 2
+        assert service.index is built[-1]
+
+    def test_index_and_factory_mutually_exclusive(self, snapshot):
+        with pytest.raises(ValueError):
+            RecommendationService(
+                snapshot,
+                index=IVFIndex(snapshot.item_embeddings, n_probe=1),
+                index_factory=lambda items: IVFIndex(items, n_probe=1),
+            )
+
+    def test_pending_queries_flushed_before_swap(self, snapshot):
+        service = RecommendationService(snapshot, default_k=4)
+        ticket = service.submit(2)
+        old_id = snapshot.snapshot_id
+        shifted = create_snapshot_variant(snapshot)
+        service.swap_snapshot(shifted)
+        assert ticket.ready
+        assert ticket.result().snapshot_id == old_id
+
+
+def create_snapshot_variant(snapshot):
+    """A copy of ``snapshot`` with a different id (simulates a retrain)."""
+    from repro.serve import build_snapshot
+
+    variant = build_snapshot(
+        snapshot.user_embeddings + 1.0,
+        snapshot.item_embeddings,
+        model_name="variant",
+    )
+    return variant
