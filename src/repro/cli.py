@@ -7,6 +7,8 @@ Usage::
     python -m repro datasets --scale 0.3
     python -m repro export-snapshot --output model.npz --backbone lightgcn --variant darec
     python -m repro recommend --snapshot model.npz --user 3 --user 17 -k 10 --index ivf
+    python -m repro stream-simulate --events 2000 --smoke
+    python -m repro fold-in --snapshot model.npz --user 9999 --item 3 --item 17 --item 42
 """
 
 from __future__ import annotations
@@ -91,6 +93,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--include-seen",
         action="store_true",
         help="do not mask the user's training items out of the results",
+    )
+
+    simulate = subparsers.add_parser(
+        "stream-simulate",
+        help="replay synthetic interaction events through the streaming updater "
+        "and report fold-in recall vs. a full retrain",
+    )
+    simulate.add_argument(
+        "--dataset", default="amazon-book", choices=sorted(BENCHMARKS), help="synthetic benchmark"
+    )
+    simulate.add_argument("--scale", type=float, default=0.5, help="dataset size multiplier")
+    simulate.add_argument(
+        "--events", type=int, default=None, help="cap on the number of replayed events"
+    )
+    simulate.add_argument(
+        "--holdout",
+        type=float,
+        default=0.25,
+        help="fraction of users held out of the base snapshot and replayed as a stream",
+    )
+    simulate.add_argument(
+        "--chunk-size", type=int, default=256, help="events per updater micro-batch cycle"
+    )
+    simulate.add_argument("-k", "--top-k", type=int, default=20, help="recall cut-off")
+    simulate.add_argument(
+        "--method", choices=("ridge", "gradient"), default="ridge", help="fold-in solver"
+    )
+    simulate.add_argument("--l2", type=float, default=0.1, help="fold-in ridge regularisation")
+    simulate.add_argument("--seed", type=int, default=0, help="random seed")
+    simulate.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI configuration (tiny scale, small chunks) with sanity assertions",
+    )
+
+    fold_in = subparsers.add_parser(
+        "fold-in",
+        help="fold recorded interactions for one user into a snapshot and show "
+        "the recommendation change (no retraining)",
+    )
+    fold_in.add_argument("--snapshot", "-s", required=True, help="path to an exported .npz snapshot")
+    fold_in.add_argument("--user", "-u", type=int, required=True, help="user id (may be brand new)")
+    fold_in.add_argument(
+        "--item",
+        "-i",
+        type=int,
+        action="append",
+        required=True,
+        help="interacted item id (repeat for several items)",
+    )
+    fold_in.add_argument("-k", "--top-k", type=int, default=10, help="list length")
+    fold_in.add_argument(
+        "--method", choices=("ridge", "gradient"), default="ridge", help="fold-in solver"
+    )
+    fold_in.add_argument("--l2", type=float, default=0.1, help="ridge regularisation")
+    fold_in.add_argument(
+        "--output", "-o", default=None, help="optionally save the delta snapshot here (.npz)"
     )
 
     return parser
@@ -185,6 +244,89 @@ def _command_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream_simulate(args: argparse.Namespace) -> int:
+    from .stream import FoldInConfig, StreamSimulationConfig, simulate_stream
+
+    scale = args.scale
+    chunk_size = args.chunk_size
+    if args.smoke:
+        scale = min(scale, 0.2)
+        chunk_size = min(chunk_size, 128)
+    config = StreamSimulationConfig(
+        dataset=args.dataset,
+        scale=scale,
+        holdout_fraction=args.holdout,
+        max_events=args.events,
+        chunk_size=chunk_size,
+        k=args.top_k,
+        seed=args.seed,
+        fold_in=FoldInConfig(l2=args.l2, method=args.method),
+    )
+    result = simulate_stream(config)
+    print_table(
+        [result.as_row()],
+        title=f"stream-simulate — {args.dataset} scale={scale} ({args.method} fold-in)",
+    )
+    print(
+        f"applied {result.events_replayed} events in {result.apply_seconds:.3f}s "
+        f"({result.events_per_second:,.0f} events/sec) across "
+        f"{result.snapshot_generations} delta snapshot generations"
+    )
+    if result.refresh_signal is not None:
+        print(f"drift: refresh recommended ({', '.join(result.refresh_signal.reasons)})")
+    if args.smoke:
+        # CI sanity floor: the loop must fold users in and serve them from the
+        # model path; recall parity with the retrain is asserted by the
+        # streaming benchmark at a more reliable scale.
+        assert result.users_folded_in > 0, "smoke run folded no users in"
+        assert result.snapshot_generations > 0, "smoke run never swapped a delta snapshot"
+        assert result.foldin_recall > 0, "folded-in users have zero recall"
+        print("smoke assertions passed")
+    return 0
+
+
+def _command_fold_in(args: argparse.Namespace) -> int:
+    from .serve import RecommendationService, load_snapshot, save_snapshot
+    from .stream import EventLog, FoldInConfig, StreamingUpdater
+
+    snapshot = load_snapshot(args.snapshot)
+    service = RecommendationService(snapshot, default_k=args.top_k)
+    log = EventLog()
+    updater = StreamingUpdater(
+        service, log, fold_in=FoldInConfig(l2=args.l2, method=args.method)
+    )
+    before = service.recommend(args.user, k=args.top_k)
+    for item in args.item:
+        service.record_interaction(args.user, item)
+    report = updater.apply()
+    after = service.recommend(args.user, k=args.top_k)
+    rows = [
+        {
+            "stage": stage,
+            "source": recommendation.source,
+            "snapshot": recommendation.snapshot_id,
+            "items": " ".join(str(item) for item in recommendation.items),
+        }
+        for stage, recommendation in (("before", before), ("after", after))
+    ]
+    print_table(rows, columns=["stage", "source", "snapshot", "items"],
+                title=f"fold-in user {args.user} ({len(args.item)} interactions)")
+    fold = report.fold_ins[0] if report.fold_ins else None
+    if fold is not None:
+        print(
+            f"folded in: residual={fold.residual:.4f} "
+            f"({'new user' if fold.was_new else 'existing user'}) -> "
+            f"delta snapshot {report.snapshot_id} (generation "
+            f"{service.snapshot.delta_generation}, events {report.event_range})"
+        )
+    else:
+        print("no fold-in applied (below min interactions)")
+    if args.output:
+        path = save_snapshot(service.snapshot, args.output)
+        print(f"wrote delta snapshot to {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro``; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -198,4 +340,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_export_snapshot(args)
     if args.command == "recommend":
         return _command_recommend(args)
+    if args.command == "stream-simulate":
+        return _command_stream_simulate(args)
+    if args.command == "fold-in":
+        return _command_fold_in(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

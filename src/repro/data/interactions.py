@@ -7,7 +7,25 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["RatingTable", "InteractionDataset", "DatasetStats"]
+__all__ = ["RatingTable", "InteractionDataset", "DatasetStats", "group_by_key"]
+
+
+def group_by_key(keys: np.ndarray):
+    """Yield ``(key, positions)`` per distinct value of ``keys``, ascending.
+
+    One stable argsort + ``np.unique`` — ``positions`` indexes the *original*
+    array and preserves first-seen order within each group.  This is the
+    shared group-by backing :meth:`InteractionDataset.user_positives`,
+    :meth:`repro.stream.EventBatch.by_user` and the streaming CSR merge.
+    """
+    keys = np.asarray(keys)
+    if not len(keys):
+        return
+    order = np.argsort(keys, kind="stable")
+    uniques, starts = np.unique(keys[order], return_index=True)
+    boundaries = np.append(starts[1:], len(order))
+    for key, start, stop in zip(uniques, starts, boundaries):
+        yield int(key), order[start:stop]
 
 
 @dataclass
@@ -48,6 +66,42 @@ class RatingTable:
             ratings=self.ratings[keep],
             num_users=self.num_users,
             num_items=self.num_items,
+        )
+
+    def append(self, users, items=None, ratings=None) -> "RatingTable":
+        """Return a new table grown by the given interactions.
+
+        Accepts either parallel ``users``/``items`` (and optional ``ratings``,
+        default 1.0) arrays, or a single columnar event batch — any object
+        with ``users`` and ``items`` array attributes, such as
+        :class:`repro.stream.EventBatch` (whose ``weights`` become the
+        ratings).  Entity counts grow to cover any new ids and all bounds are
+        re-validated by the constructor, so this is the one sanctioned way to
+        extend a table (instead of ad-hoc ``np.concatenate`` on the columns);
+        ``StreamingUpdater.export_training_table`` uses it to hand applied
+        stream events back to the offline retraining pipeline.  Duplicate
+        pairs are kept, as in a raw table — :meth:`deduplicate` (run by the
+        standard preprocessing) collapses them later.
+        """
+        if items is None:
+            batch = users
+            users = np.asarray(batch.users, dtype=np.int64)
+            items = np.asarray(batch.items, dtype=np.int64)
+            if ratings is None:
+                ratings = np.asarray(getattr(batch, "weights", np.ones(len(users))))
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        ratings = np.ones(len(users)) if ratings is None else np.asarray(ratings, dtype=np.float64)
+        if not (len(users) == len(items) == len(ratings)):
+            raise ValueError("users, items and ratings must have equal length")
+        num_users = self.num_users if not len(users) else max(self.num_users, int(users.max()) + 1)
+        num_items = self.num_items if not len(items) else max(self.num_items, int(items.max()) + 1)
+        return RatingTable(
+            users=np.concatenate([self.users, users]),
+            items=np.concatenate([self.items, items]),
+            ratings=np.concatenate([self.ratings, ratings]),
+            num_users=num_users,
+            num_items=num_items,
         )
 
     def deduplicate(self) -> "RatingTable":
@@ -134,16 +188,10 @@ class InteractionDataset:
     def user_positives(self, split: str = "train") -> dict[int, np.ndarray]:
         """Map each user id to the sorted array of items they interacted with."""
         pairs = getattr(self, split)
-        result: dict[int, np.ndarray] = {}
-        if len(pairs) == 0:
-            return result
-        order = np.argsort(pairs[:, 0], kind="stable")
-        sorted_pairs = pairs[order]
-        users, starts = np.unique(sorted_pairs[:, 0], return_index=True)
-        boundaries = np.append(starts[1:], len(sorted_pairs))
-        for user, start, stop in zip(users, starts, boundaries):
-            result[int(user)] = np.unique(sorted_pairs[start:stop, 1])
-        return result
+        return {
+            user: np.unique(pairs[positions, 1])
+            for user, positions in group_by_key(pairs[:, 0])
+        }
 
     @property
     def train_positives(self) -> dict[int, np.ndarray]:

@@ -59,6 +59,7 @@ from .service import LRUCache, PendingRecommendation, Recommendation, Recommenda
 from .snapshot import (
     SNAPSHOT_FORMAT_VERSION,
     EmbeddingSnapshot,
+    build_delta_snapshot,
     build_snapshot,
     create_snapshot,
     load_snapshot,
@@ -69,6 +70,7 @@ __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
     "EmbeddingSnapshot",
     "build_snapshot",
+    "build_delta_snapshot",
     "create_snapshot",
     "save_snapshot",
     "load_snapshot",

@@ -119,6 +119,7 @@ class ServiceStats:
     batched_queries: int = 0
     fallbacks: int = 0
     snapshot_swaps: int = 0
+    interactions_recorded: int = 0
     extra: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -128,6 +129,7 @@ class ServiceStats:
             "batched_queries": self.batched_queries,
             "fallbacks": self.fallbacks,
             "snapshot_swaps": self.snapshot_swaps,
+            "interactions_recorded": self.interactions_recorded,
         }
 
 
@@ -155,6 +157,16 @@ class RecommendationService:
     cold_start_min_history:
         Known users with fewer training interactions than this also fall back
         to the popularity ranking (0 restricts fallback to unknown ids).
+    popularity_provider:
+        Optional zero-argument callable returning a ``(num_items,)`` count
+        array for the cold-start ranking.  Defaults to the frozen snapshot
+        counts; pass a provider backed by a live event log so fallback
+        rankings track current traffic (see :func:`repro.stream.live_popularity`).
+    event_log:
+        Optional append-only log (any object with an
+        ``append(user_id, item_id, timestamp=..., weight=...)`` method, e.g.
+        :class:`repro.stream.EventLog`) that :meth:`record_interaction` writes
+        to; can also be attached later via :meth:`attach_event_log`.
     """
 
     def __init__(
@@ -167,6 +179,8 @@ class RecommendationService:
         batch_size: int = 64,
         mask_train: bool = True,
         cold_start_min_history: int = 1,
+        popularity_provider=None,
+        event_log=None,
     ) -> None:
         if index is not None and index_factory is not None:
             raise ValueError("pass either a pre-built index or an index_factory, not both")
@@ -183,6 +197,8 @@ class RecommendationService:
         self._lock = threading.RLock()
         self._pending: list[tuple[int, int, PendingRecommendation]] = []
         self.stats = ServiceStats()
+        self._popularity_provider = popularity_provider
+        self._event_log = event_log
         self._install(snapshot, index)
 
     # ------------------------------------------------------------------ #
@@ -213,6 +229,67 @@ class RecommendationService:
         return self._cache
 
     # ------------------------------------------------------------------ #
+    # Feedback ingestion & live popularity
+    # ------------------------------------------------------------------ #
+    def attach_event_log(self, event_log) -> None:
+        """Attach (or replace) the append-only log behind :meth:`record_interaction`."""
+        with self._lock:
+            self._event_log = event_log
+
+    @property
+    def event_log(self):
+        return self._event_log
+
+    def record_interaction(self, user_id: int, item_id: int, timestamp: float = 0.0, weight: float = 1.0):
+        """Append one observed interaction to the attached event log.
+
+        This is the serving-side feedback entry point: a downstream
+        :class:`repro.stream.StreamingUpdater` consumes the log, folds the
+        interactions into the user table, and hot-swaps the result back in —
+        after which the user stops hitting the popularity fallback.  The item
+        id is validated against the current snapshot (the item table is
+        frozen, so an unknown item can never be folded in); user ids beyond
+        the table are allowed — that is exactly how brand-new users enter.
+        """
+        if self._event_log is None:
+            raise RuntimeError(
+                "no event log attached; pass event_log= or call attach_event_log() first"
+            )
+        if not 0 <= int(item_id) < self.snapshot.num_items:
+            raise ValueError(
+                f"item id {item_id} outside the frozen catalogue [0, {self.snapshot.num_items})"
+            )
+        if int(user_id) < 0:
+            raise ValueError("user_id must be non-negative")
+        event = self._event_log.append(int(user_id), int(item_id), timestamp=timestamp, weight=weight)
+        with self._lock:
+            self.stats.interactions_recorded += 1
+        return event
+
+    def set_popularity_provider(self, provider) -> None:
+        """Swap the popularity source used by the cold-start fallback.
+
+        ``provider`` is a zero-argument callable returning a ``(num_items,)``
+        count/score array, re-evaluated on every fallback so live counts (e.g.
+        snapshot counts + event-log deltas) take effect immediately; ``None``
+        restores the frozen snapshot counts.
+        """
+        with self._lock:
+            self._popularity_provider = provider
+
+    def popularity(self) -> np.ndarray:
+        """The popularity array currently backing the cold-start fallback."""
+        if self._popularity_provider is None:
+            return self.snapshot.item_popularity
+        popularity = np.asarray(self._popularity_provider())
+        if popularity.shape != (self.snapshot.num_items,):
+            raise ValueError(
+                "popularity provider returned shape "
+                f"{popularity.shape}, expected ({self.snapshot.num_items},)"
+            )
+        return popularity
+
+    # ------------------------------------------------------------------ #
     # Query paths
     # ------------------------------------------------------------------ #
     def _is_cold(self, user_id: int) -> bool:
@@ -224,14 +301,21 @@ class RecommendationService:
         return int(stop - start) < self.cold_start_min_history
 
     def _popularity_fallback(self, user_id: int, k: int) -> Recommendation:
-        order = self._popularity_order
+        if self._popularity_provider is None:
+            popularity = self.snapshot.item_popularity
+            order = self._popularity_order
+        else:
+            # Live provider: re-rank on every fallback so fresh counts take
+            # effect immediately (fallbacks are rare; the sort is cheap).
+            popularity = self.popularity()
+            order = np.argsort(-popularity.astype(np.float64), kind="stable").astype(np.int64)
         if self.mask_train and 0 <= user_id < self.snapshot.num_users:
             # Cold-but-known users keep the no-seen-items contract.
             seen = self.snapshot.train_items(user_id)
             if seen.size:
                 order = order[~np.isin(order, seen)]
         items = order[:k]
-        scores = self.snapshot.item_popularity[items].astype(np.float64)
+        scores = popularity[items].astype(np.float64)
         self.stats.fallbacks += 1
         return Recommendation(
             user_id=int(user_id),

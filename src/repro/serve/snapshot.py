@@ -27,6 +27,7 @@ __all__ = [
     "EmbeddingSnapshot",
     "create_snapshot",
     "build_snapshot",
+    "build_delta_snapshot",
     "save_snapshot",
     "load_snapshot",
 ]
@@ -108,6 +109,30 @@ class EmbeddingSnapshot:
         return bool(self.train_indptr[user + 1] > self.train_indptr[user])
 
     # ------------------------------------------------------------------ #
+    # Delta provenance (streaming updates)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_delta(self) -> bool:
+        """True when this snapshot was derived by folding events into a base."""
+        return "base_snapshot_id" in self.metadata
+
+    @property
+    def base_snapshot_id(self) -> str | None:
+        """Id of the immediate parent snapshot (``None`` for full exports)."""
+        return self.metadata.get("base_snapshot_id")
+
+    @property
+    def delta_generation(self) -> int:
+        """How many delta steps separate this snapshot from a full export."""
+        return int(self.metadata.get("delta_generation", 0))
+
+    @property
+    def delta_event_range(self) -> tuple[int, int] | None:
+        """Half-open ``[start, stop)`` event-log seq range this delta absorbed."""
+        value = self.metadata.get("delta_event_range")
+        return None if value is None else (int(value[0]), int(value[1]))
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: str | Path) -> Path:
@@ -172,6 +197,54 @@ def build_snapshot(
         train_indptr=indptr,
         train_indices=indices,
         item_popularity=popularity,
+        metadata=metadata,
+    )
+
+
+def build_delta_snapshot(
+    base: EmbeddingSnapshot,
+    user_embeddings: np.ndarray,
+    train_indptr: np.ndarray,
+    train_indices: np.ndarray,
+    item_popularity: np.ndarray,
+    event_range: tuple[int, int],
+    extra_metadata: dict | None = None,
+) -> EmbeddingSnapshot:
+    """Derive a new snapshot version from ``base`` with updated user state.
+
+    The item table is *shared* (same array object) with the base — streaming
+    fold-in never retrains items, and keeping the object identity lets the
+    serving layer detect that any item-side index remains valid across the
+    swap.  Provenance is recorded in the metadata: ``base_snapshot_id`` (the
+    immediate parent), ``delta_generation`` (parent's generation + 1) and
+    ``delta_event_range`` (the half-open event-log sequence window the
+    producing update cycle drained — successive deltas tile the log; see
+    :class:`repro.stream.UpdateReport` for the exact drained-vs-folded
+    semantics when updates are deferred).
+    """
+    user_embeddings = np.atleast_2d(np.asarray(user_embeddings))
+    start, stop = int(event_range[0]), int(event_range[1])
+    if stop < start:
+        raise ValueError("event_range must be a half-open [start, stop) pair")
+    metadata = dict(base.metadata)
+    metadata.update(
+        {
+            "num_users": user_embeddings.shape[0],
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "snapshot_id": _content_hash(user_embeddings, base.item_embeddings),
+            "base_snapshot_id": base.snapshot_id,
+            "delta_generation": base.delta_generation + 1,
+            "delta_event_range": [start, stop],
+        }
+    )
+    if extra_metadata:
+        metadata.update(extra_metadata)
+    return EmbeddingSnapshot(
+        user_embeddings=user_embeddings,
+        item_embeddings=base.item_embeddings,
+        train_indptr=train_indptr,
+        train_indices=train_indices,
+        item_popularity=item_popularity,
         metadata=metadata,
     )
 

@@ -1,0 +1,237 @@
+"""Distribution-drift monitors over the interaction event stream.
+
+A frozen snapshot is only as good as the traffic it was trained on.  The
+monitors here watch three cheap, complementary symptoms of the stream pulling
+away from the snapshot:
+
+* **popularity KL divergence** — KL(stream item distribution || snapshot
+  popularity distribution).  Catches catalogue-level shifts: new items
+  heating up, trained favourites cooling down.
+* **fold-in residual** — the running mean RMS residual reported by the
+  fold-in solver.  Catches representation-level drift: the frozen item space
+  can no longer explain the histories being folded in.
+* **cold-user ratio** — the fraction of observed events from users beyond the
+  snapshot's user table.  Catches audience shift: a surge of new users means
+  the popularity prior and the trained geometry both date quickly.
+
+All three are computed incrementally from :class:`~repro.stream.events`
+batches; when any threshold trips, :meth:`DriftMonitor.check` returns a typed
+:class:`RefreshSignal` naming every tripped reason, which the caller (usually
+the :class:`~repro.stream.updater.StreamingUpdater`) forwards as "schedule a
+full retrain".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .events import EventBatch
+
+__all__ = ["DriftConfig", "DriftMetrics", "RefreshSignal", "DriftMonitor", "popularity_kl"]
+
+
+def popularity_kl(
+    observed_counts: np.ndarray, reference_counts: np.ndarray, smoothing: float = 0.5
+) -> float:
+    """KL(observed || reference) between two item-count vectors.
+
+    Both sides are Laplace-smoothed by ``smoothing`` pseudo-counts so unseen
+    items never produce infinities; the result is in nats, 0.0 iff the
+    (smoothed) distributions coincide.
+    """
+    observed = np.asarray(observed_counts, dtype=np.float64) + smoothing
+    reference = np.asarray(reference_counts, dtype=np.float64) + smoothing
+    if observed.shape != reference.shape:
+        raise ValueError("count vectors must have the same length")
+    p = observed / observed.sum()
+    q = reference / reference.sum()
+    return float(np.sum(p * np.log(p / q)))
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Thresholds of the drift monitors (``None`` disables a monitor)."""
+
+    kl_threshold: float | None = 0.5
+    residual_threshold: float | None = None
+    cold_user_threshold: float | None = 0.5
+    min_events: int = 50
+    smoothing: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_events <= 0:
+            raise ValueError("min_events must be positive")
+        if self.smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+
+
+@dataclass(frozen=True)
+class DriftMetrics:
+    """Point-in-time values of the three monitored quantities."""
+
+    events_observed: int
+    popularity_kl: float
+    mean_residual: float
+    cold_user_ratio: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "events_observed": float(self.events_observed),
+            "popularity_kl": self.popularity_kl,
+            "mean_residual": self.mean_residual,
+            "cold_user_ratio": self.cold_user_ratio,
+        }
+
+
+@dataclass(frozen=True)
+class RefreshSignal:
+    """Emitted when the stream has drifted past the configured thresholds.
+
+    ``reasons`` names every monitor that tripped (``"popularity_kl"``,
+    ``"fold_in_residual"``, ``"cold_user_ratio"``); ``as_of_seq`` is the last
+    event sequence number covered by the measurement.
+    """
+
+    reasons: tuple[str, ...]
+    metrics: DriftMetrics
+    as_of_seq: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RefreshSignal(reasons={','.join(self.reasons)}, as_of_seq={self.as_of_seq})"
+
+
+@dataclass
+class DriftMonitor:
+    """Incremental drift tracker fed by event batches and fold-in residuals.
+
+    Parameters
+    ----------
+    snapshot_popularity:
+        The serving snapshot's per-item training counts — the reference
+        distribution the stream is compared against.
+    config:
+        Monitor thresholds; see :class:`DriftConfig`.
+    num_snapshot_users:
+        User-table size of the snapshot; events with ``user_id`` at or beyond
+        it count as cold.
+    """
+
+    snapshot_popularity: np.ndarray
+    config: DriftConfig = field(default_factory=DriftConfig)
+    num_snapshot_users: int = 0
+
+    def __post_init__(self) -> None:
+        self.snapshot_popularity = np.asarray(self.snapshot_popularity, dtype=np.float64)
+        self._observed_counts = np.zeros_like(self.snapshot_popularity)
+        self._events = 0
+        self._cold_events = 0
+        self._residual_sum = 0.0
+        self._residual_count = 0
+        self._last_seq = -1
+
+    # ------------------------------------------------------------------ #
+    # Feeding
+    # ------------------------------------------------------------------ #
+    def observe_batch(self, batch: EventBatch) -> None:
+        """Fold one event batch into the running counts."""
+        if not len(batch):
+            return
+        self._observed_counts += batch.item_counts(len(self.snapshot_popularity))
+        self._events += len(batch)
+        self._cold_events += int(np.sum(batch.users >= self.num_snapshot_users))
+        self._last_seq = max(self._last_seq, batch.seq_stop - 1)
+
+    def observe_residual(self, residual: float, count: int = 1) -> None:
+        """Record a fold-in RMS residual (optionally weighted by ``count``)."""
+        self._residual_sum += float(residual) * count
+        self._residual_count += count
+
+    def checkpoint(self) -> tuple:
+        """Opaque copy of the accumulator state, for :meth:`rollback`.
+
+        Lets a consumer that may re-process the same events after a failure
+        (e.g. a streaming update cycle that dies before committing its
+        cursor) undo the observations of the failed attempt instead of
+        counting the window twice.
+        """
+        return (
+            self._observed_counts.copy(),
+            self._events,
+            self._cold_events,
+            self._residual_sum,
+            self._residual_count,
+            self._last_seq,
+        )
+
+    def rollback(self, state: tuple) -> None:
+        """Restore the accumulators to a :meth:`checkpoint` state."""
+        (
+            self._observed_counts,
+            self._events,
+            self._cold_events,
+            self._residual_sum,
+            self._residual_count,
+            self._last_seq,
+        ) = (state[0].copy(), *state[1:])
+
+    def mark_refreshed(self, num_snapshot_users: int | None = None) -> None:
+        """Reset the accumulators after the snapshot has been refreshed.
+
+        Call when a retrain (or a delta snapshot absorbing the fold-ins) makes
+        the accumulated evidence stale; an updated user-table size keeps the
+        cold-user monitor honest after the table grew.
+        """
+        self._observed_counts[:] = 0.0
+        self._events = 0
+        self._cold_events = 0
+        self._residual_sum = 0.0
+        self._residual_count = 0
+        if num_snapshot_users is not None:
+            self.num_snapshot_users = int(num_snapshot_users)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> DriftMetrics:
+        mean_residual = (
+            self._residual_sum / self._residual_count if self._residual_count else 0.0
+        )
+        kl = (
+            popularity_kl(
+                self._observed_counts, self.snapshot_popularity, self.config.smoothing
+            )
+            if self._events
+            else 0.0
+        )
+        ratio = self._cold_events / self._events if self._events else 0.0
+        return DriftMetrics(
+            events_observed=self._events,
+            popularity_kl=kl,
+            mean_residual=mean_residual,
+            cold_user_ratio=ratio,
+        )
+
+    def check(self) -> RefreshSignal | None:
+        """Return a :class:`RefreshSignal` if any enabled threshold tripped."""
+        if self._events < self.config.min_events:
+            return None
+        metrics = self.metrics()
+        reasons: list[str] = []
+        if self.config.kl_threshold is not None and metrics.popularity_kl >= self.config.kl_threshold:
+            reasons.append("popularity_kl")
+        if (
+            self.config.residual_threshold is not None
+            and self._residual_count
+            and metrics.mean_residual >= self.config.residual_threshold
+        ):
+            reasons.append("fold_in_residual")
+        if (
+            self.config.cold_user_threshold is not None
+            and metrics.cold_user_ratio >= self.config.cold_user_threshold
+        ):
+            reasons.append("cold_user_ratio")
+        if not reasons:
+            return None
+        return RefreshSignal(reasons=tuple(reasons), metrics=metrics, as_of_seq=self._last_seq)

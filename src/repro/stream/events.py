@@ -1,0 +1,265 @@
+"""Append-only interaction event log with columnar NumPy storage.
+
+The log is the single source of truth for everything that happened *after* the
+serving snapshot was trained: each recorded interaction becomes an
+:class:`InteractionEvent` with a monotonically increasing sequence number.
+Storage is columnar (one growable int64/float64 array per field, amortised
+doubling) so that a million events cost four arrays, not a million Python
+objects; events are materialised lazily and the hot consumers — the
+:class:`~repro.stream.updater.StreamingUpdater` and the drift monitors — work
+on :class:`EventBatch` array slices directly.
+
+Sequence numbers are assigned at append time, never reused, and survive
+compaction, so a consumer can always say "give me everything after seq *s*"
+(:meth:`EventLog.since`) or replay a fixed range (:meth:`EventLog.replay`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..data.interactions import group_by_key
+
+__all__ = ["InteractionEvent", "EventBatch", "EventLog"]
+
+#: Initial capacity of a fresh log's column arrays.
+_INITIAL_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """One observed user-item interaction.
+
+    ``seq`` is the log-assigned, strictly increasing sequence number;
+    ``timestamp`` is caller-supplied wall-clock or logical time (the log never
+    reads the system clock so replays are deterministic); ``weight`` carries
+    optional confidence/rating information (1.0 for plain implicit feedback).
+    """
+
+    seq: int
+    user_id: int
+    item_id: int
+    timestamp: float = 0.0
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class EventBatch:
+    """A contiguous, immutable slice of the log in columnar form.
+
+    Covers sequence numbers ``[seq_start, seq_stop)``; the arrays are copies,
+    so a batch stays valid however the log grows afterwards.
+    """
+
+    users: np.ndarray
+    items: np.ndarray
+    timestamps: np.ndarray
+    weights: np.ndarray
+    seq_start: int
+    seq_stop: int
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __iter__(self) -> Iterator[InteractionEvent]:
+        for offset in range(len(self.users)):
+            yield InteractionEvent(
+                seq=self.seq_start + offset,
+                user_id=int(self.users[offset]),
+                item_id=int(self.items[offset]),
+                timestamp=float(self.timestamps[offset]),
+                weight=float(self.weights[offset]),
+            )
+
+    def item_counts(self, num_items: int) -> np.ndarray:
+        """Per-item interaction counts within this batch (length ``num_items``)."""
+        in_range = self.items[(self.items >= 0) & (self.items < num_items)]
+        return np.bincount(in_range, minlength=num_items).astype(np.int64)
+
+    def by_user(self, with_weights: bool = False) -> dict:
+        """Map each user in the batch to the item ids they touched (in order).
+
+        Returns ``{user: items}`` by default; with ``with_weights=True`` the
+        values are ``(items, weights)`` array pairs instead (one stable sort
+        either way — this is the grouping the streaming updater consumes).
+        """
+        result: dict = {}
+        for user, span in group_by_key(self.users):
+            if with_weights:
+                result[user] = (self.items[span], self.weights[span])
+            else:
+                result[user] = self.items[span]
+        return result
+
+
+class EventLog:
+    """Thread-safe append-only interaction log.
+
+    Parameters
+    ----------
+    capacity:
+        Initial column capacity; the log doubles as needed, so this only
+        matters for avoiding early reallocations.
+    """
+
+    def __init__(self, capacity: int = _INITIAL_CAPACITY) -> None:
+        capacity = max(1, int(capacity))
+        self._users = np.empty(capacity, dtype=np.int64)
+        self._items = np.empty(capacity, dtype=np.int64)
+        self._timestamps = np.empty(capacity, dtype=np.float64)
+        self._weights = np.empty(capacity, dtype=np.float64)
+        self._size = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next appended event will receive."""
+        return self._size
+
+    def __getitem__(self, seq: int) -> InteractionEvent:
+        if not 0 <= seq < self._size:
+            raise IndexError(f"sequence number {seq} outside [0, {self._size})")
+        return InteractionEvent(
+            seq=seq,
+            user_id=int(self._users[seq]),
+            item_id=int(self._items[seq]),
+            timestamp=float(self._timestamps[seq]),
+            weight=float(self._weights[seq]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = len(self._users)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_users", "_items", "_timestamps", "_weights"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[: self._size] = old[: self._size]
+            setattr(self, name, grown)
+
+    def append(
+        self, user_id: int, item_id: int, timestamp: float = 0.0, weight: float = 1.0
+    ) -> InteractionEvent:
+        """Record one interaction; returns the event with its assigned seq."""
+        if user_id < 0 or item_id < 0:
+            raise ValueError("user_id and item_id must be non-negative")
+        with self._lock:
+            self._ensure_capacity(1)
+            seq = self._size
+            self._users[seq] = user_id
+            self._items[seq] = item_id
+            self._timestamps[seq] = timestamp
+            self._weights[seq] = weight
+            self._size += 1
+        return InteractionEvent(seq, int(user_id), int(item_id), float(timestamp), float(weight))
+
+    def extend(
+        self,
+        user_ids,
+        item_ids,
+        timestamps=None,
+        weights=None,
+    ) -> tuple[int, int]:
+        """Record many interactions at once; returns the ``[start, stop)`` seq range."""
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if user_ids.shape != item_ids.shape or user_ids.ndim != 1:
+            raise ValueError("user_ids and item_ids must be equal-length 1-D arrays")
+        if user_ids.size and (user_ids.min() < 0 or item_ids.min() < 0):
+            raise ValueError("user_ids and item_ids must be non-negative")
+        count = user_ids.size
+        timestamps = (
+            np.zeros(count) if timestamps is None else np.asarray(timestamps, dtype=np.float64)
+        )
+        weights = np.ones(count) if weights is None else np.asarray(weights, dtype=np.float64)
+        if timestamps.shape != user_ids.shape or weights.shape != user_ids.shape:
+            raise ValueError("timestamps and weights must match user_ids in length")
+        with self._lock:
+            self._ensure_capacity(count)
+            start, stop = self._size, self._size + count
+            self._users[start:stop] = user_ids
+            self._items[start:stop] = item_ids
+            self._timestamps[start:stop] = timestamps
+            self._weights[start:stop] = weights
+            self._size = stop
+        return start, stop
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def slice(self, start_seq: int = 0, stop_seq: int | None = None) -> EventBatch:
+        """Materialise the ``[start_seq, stop_seq)`` range as one batch."""
+        with self._lock:
+            size = self._size
+        stop_seq = size if stop_seq is None else min(int(stop_seq), size)
+        start_seq = max(0, int(start_seq))
+        if start_seq > stop_seq:
+            start_seq = stop_seq
+        span = slice(start_seq, stop_seq)
+        return EventBatch(
+            users=self._users[span].copy(),
+            items=self._items[span].copy(),
+            timestamps=self._timestamps[span].copy(),
+            weights=self._weights[span].copy(),
+            seq_start=start_seq,
+            seq_stop=stop_seq,
+        )
+
+    def since(self, seq: int) -> EventBatch:
+        """Everything recorded at or after sequence number ``seq``."""
+        return self.slice(start_seq=seq)
+
+    def replay(
+        self, batch_size: int, start_seq: int = 0, stop_seq: int | None = None
+    ) -> Iterator[EventBatch]:
+        """Yield the ``[start_seq, stop_seq)`` range in fixed-size micro-batches.
+
+        The stop bound is pinned when iteration starts, so appends racing with
+        a replay never extend it mid-flight.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        stop_seq = self._size if stop_seq is None else min(int(stop_seq), self._size)
+        cursor = max(0, int(start_seq))
+        while cursor < stop_seq:
+            upper = min(cursor + batch_size, stop_seq)
+            yield self.slice(cursor, upper)
+            cursor = upper
+
+    def windows(self, window: int) -> Iterator[EventBatch]:
+        """Non-overlapping fixed-size windows over the whole log (tail included)."""
+        yield from self.replay(window)
+
+    def item_counts(
+        self, num_items: int, start_seq: int = 0, stop_seq: int | None = None
+    ) -> np.ndarray:
+        """Per-item counts over ``[start_seq, stop_seq)`` — a popularity delta.
+
+        Reads the items column directly (no batch materialisation).  The cost
+        is linear in the requested window, so incremental consumers (e.g.
+        :func:`repro.stream.live_popularity`) should track the last sequence
+        number they consumed and request only the new tail.
+        """
+        with self._lock:
+            size = self._size
+        stop_seq = size if stop_seq is None else min(max(0, int(stop_seq)), size)
+        start_seq = min(max(0, int(start_seq)), stop_seq)
+        items = self._items[start_seq:stop_seq]
+        in_range = items[(items >= 0) & (items < num_items)]
+        return np.bincount(in_range, minlength=num_items).astype(np.int64)

@@ -39,6 +39,42 @@ class TestRatingTable:
         assert len(filtered) == 4
         assert (filtered.ratings >= 3.0).all()
 
+    def test_append_arrays(self):
+        grown = small_table().append([1, 2], [3, 0], [4.0, 2.0])
+        assert len(grown) == 8
+        assert grown.num_users == 3
+        np.testing.assert_array_equal(grown.users[-2:], [1, 2])
+        np.testing.assert_array_equal(grown.ratings[-2:], [4.0, 2.0])
+        # The original is untouched (append returns a new table).
+        assert len(small_table()) == 6
+
+    def test_append_grows_entity_counts(self):
+        grown = small_table().append([7], [9], [5.0])
+        assert grown.num_users == 8
+        assert grown.num_items == 10
+
+    def test_append_default_ratings(self):
+        grown = small_table().append([0], [0])
+        assert grown.ratings[-1] == 1.0
+
+    def test_append_event_batch(self):
+        from repro.stream import EventLog
+
+        log = EventLog()
+        log.extend([0, 4], [1, 2], weights=[3.0, 5.0])
+        grown = small_table().append(log.slice())
+        assert len(grown) == 8
+        assert grown.num_users == 5
+        np.testing.assert_array_equal(grown.ratings[-2:], [3.0, 5.0])
+
+    def test_append_revalidates_bounds(self):
+        with pytest.raises(ValueError):
+            small_table().append([-1], [0])
+
+    def test_append_length_mismatch(self):
+        with pytest.raises(ValueError):
+            small_table().append([0, 1], [0])
+
     def test_filter_keeps_entity_counts(self):
         filtered = small_table().filter_min_rating(5.0)
         assert filtered.num_users == 3 and filtered.num_items == 4

@@ -145,3 +145,100 @@ class TestServingCommands:
     def test_recommend_requires_snapshot(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["recommend", "--user", "0"])
+
+
+class TestStreamingCommands:
+    @pytest.fixture(scope="class")
+    def tiny_snapshot_path(self, tmp_path_factory):
+        import numpy as np
+
+        from repro.serve import build_snapshot, save_snapshot
+
+        rng = np.random.default_rng(0)
+        snapshot = build_snapshot(
+            rng.normal(size=(12, 8)),
+            rng.normal(size=(20, 8)),
+            train_pairs=np.column_stack(
+                [rng.integers(0, 12, 60), rng.integers(0, 20, 60)]
+            ),
+            model_name="cli-test",
+        )
+        return str(save_snapshot(snapshot, tmp_path_factory.mktemp("stream") / "tiny.npz"))
+
+    def test_stream_simulate_parses(self):
+        args = build_parser().parse_args(
+            ["stream-simulate", "--events", "500", "--smoke", "--method", "gradient"]
+        )
+        assert args.command == "stream-simulate"
+        assert args.events == 500
+        assert args.smoke
+        assert args.method == "gradient"
+
+    def test_fold_in_parses(self):
+        args = build_parser().parse_args(
+            ["fold-in", "-s", "x.npz", "-u", "7", "-i", "1", "-i", "2"]
+        )
+        assert args.command == "fold-in"
+        assert args.user == 7
+        assert args.item == [1, 2]
+
+    def test_fold_in_requires_items(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fold-in", "-s", "x.npz", "-u", "7"])
+
+    def test_stream_simulate_smoke_runs(self, capsys):
+        assert main(["stream-simulate", "--events", "200", "--smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "events/sec" in output
+        assert "smoke assertions passed" in output
+
+    def test_fold_in_new_user_end_to_end(self, tiny_snapshot_path, capsys):
+        exit_code = main(
+            [
+                "fold-in",
+                "--snapshot",
+                tiny_snapshot_path,
+                "--user",
+                "999",
+                "--item",
+                "1",
+                "--item",
+                "5",
+                "--item",
+                "9",
+                "-k",
+                "5",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "popularity" in output  # before: cold
+        assert "model" in output  # after: personalised
+        assert "new user" in output
+
+    def test_fold_in_saves_delta(self, tiny_snapshot_path, tmp_path, capsys):
+        from repro.serve import load_snapshot
+
+        out = tmp_path / "delta.npz"
+        exit_code = main(
+            [
+                "fold-in",
+                "--snapshot",
+                tiny_snapshot_path,
+                "--user",
+                "999",
+                "--item",
+                "1",
+                "--item",
+                "5",
+                "--item",
+                "9",
+                "--output",
+                str(out),
+            ]
+        )
+        assert exit_code == 0
+        delta = load_snapshot(out)
+        assert delta.is_delta
+        assert delta.num_users == 1000
+        assert delta.delta_event_range == (0, 3)

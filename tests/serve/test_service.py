@@ -49,6 +49,28 @@ class TestLRUCache:
         cache.put("a", 1)
         assert cache.get("a") is None
 
+    def test_eviction_is_strictly_least_recently_used(self):
+        # Both get() and put() refresh recency; victims fall in access order.
+        cache = LRUCache(maxsize=3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")          # order: b, c, a
+        cache.put("b", "b2")    # put refreshes too -> order: c, a, b
+        cache.put("d", "d")     # evicts "c", the true LRU
+        assert cache.get("c") is None
+        assert cache.get("a") == "a"
+        assert cache.get("b") == "b2"
+        assert cache.get("d") == "d"
+
+    def test_eviction_chain_under_pressure(self):
+        cache = LRUCache(maxsize=2)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 2
+        assert cache.get(8) == 8
+        assert cache.get(9) == 9
+        assert all(cache.get(i) is None for i in range(8))
+
     def test_clear(self):
         cache = LRUCache(maxsize=4)
         cache.put("a", 1)
@@ -268,12 +290,152 @@ class TestSnapshotSwap:
         assert ticket.result().snapshot_id == old_id
 
 
-def create_snapshot_variant(snapshot):
+class TestSwapRaces:
+    def test_submit_racing_swap_never_mixes_versions(self, snapshot):
+        """Concurrent submits while snapshots swap: every served result must
+        belong to exactly one snapshot version, never a mix."""
+        service = RecommendationService(snapshot, default_k=5, cache_size=0, batch_size=4)
+        variants = [snapshot] + [
+            create_snapshot_variant(snapshot, shift=float(i)) for i in (1, 2, 3)
+        ]
+        known_ids = {v.snapshot_id for v in variants}
+        per_version_items = {
+            v.snapshot_id: {
+                user: RecommendationService(v, default_k=5, cache_size=0).recommend(user).items.tolist()
+                for user in range(8)
+            }
+            for v in variants
+        }
+        results = []
+        results_lock = threading.Lock()
+        stop = threading.Event()
+
+        def submitter():
+            user = 0
+            while not stop.is_set():
+                ticket = service.submit(user % 8)
+                recommendation = ticket.result()
+                with results_lock:
+                    results.append(recommendation)
+                user += 1
+
+        threads = [threading.Thread(target=submitter) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for _ in range(3):
+            for variant in variants[1:] + [variants[0]]:
+                service.swap_snapshot(variant)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        service.flush()
+
+        assert len(results) > 0
+        for recommendation in results:
+            # The advertised version is a real one...
+            assert recommendation.snapshot_id in known_ids
+            # ...and the items are exactly what that version would serve: the
+            # ranking was not computed against a different snapshot mid-swap.
+            expected = per_version_items[recommendation.snapshot_id][recommendation.user_id]
+            assert recommendation.items.tolist() == expected
+
+    def test_pending_tickets_served_from_pre_swap_snapshot(self, snapshot):
+        service = RecommendationService(snapshot, default_k=4, batch_size=64)
+        tickets = [service.submit(user) for user in range(6)]
+        service.swap_snapshot(create_snapshot_variant(snapshot))
+        # The swap flushed the buffer against the old snapshot first.
+        assert all(ticket.ready for ticket in tickets)
+        assert {t.result().snapshot_id for t in tickets} == {snapshot.snapshot_id}
+        # New queries see the new snapshot.
+        assert service.recommend(0).snapshot_id != snapshot.snapshot_id
+
+
+class TestPopularityProvider:
+    def test_defaults_to_snapshot_counts(self, service, snapshot):
+        np.testing.assert_array_equal(service.popularity(), snapshot.item_popularity)
+
+    def test_provider_overrides_fallback_ranking(self, snapshot):
+        service = RecommendationService(snapshot, default_k=3)
+        boosted = np.zeros(snapshot.num_items, dtype=np.int64)
+        boosted[5] = 1000
+        boosted[2] = 500
+        service.set_popularity_provider(lambda: boosted)
+        recommendation = service.recommend(snapshot.num_users + 1, k=2)
+        assert recommendation.source == "popularity"
+        np.testing.assert_array_equal(recommendation.items, [5, 2])
+        np.testing.assert_array_equal(recommendation.scores, [1000.0, 500.0])
+
+    def test_provider_reset_restores_snapshot(self, snapshot):
+        service = RecommendationService(snapshot, default_k=3)
+        service.set_popularity_provider(lambda: np.arange(snapshot.num_items))
+        service.set_popularity_provider(None)
+        np.testing.assert_array_equal(service.popularity(), snapshot.item_popularity)
+
+    def test_provider_shape_validated(self, snapshot):
+        service = RecommendationService(snapshot)
+        service.set_popularity_provider(lambda: np.ones(3))
+        with pytest.raises(ValueError, match="popularity provider"):
+            service.recommend(snapshot.num_users + 1)
+
+    def test_provider_masks_known_user_history(self, snapshot):
+        service = RecommendationService(
+            snapshot, default_k=10, cold_start_min_history=10_000
+        )
+        service.set_popularity_provider(
+            lambda: np.arange(snapshot.num_items, 0, -1, dtype=np.int64)
+        )
+        for user in range(snapshot.num_users):
+            recommendation = service.recommend(user)
+            assert recommendation.source == "popularity"
+            assert not np.isin(recommendation.items, snapshot.train_items(user)).any()
+
+
+class TestRecordInteraction:
+    def test_requires_attached_log(self, service):
+        with pytest.raises(RuntimeError, match="no event log"):
+            service.record_interaction(0, 1)
+
+    def test_appends_and_counts(self, snapshot):
+        from repro.stream import EventLog
+
+        log = EventLog()
+        service = RecommendationService(snapshot, event_log=log)
+        event = service.record_interaction(snapshot.num_users + 7, 3, weight=2.0)
+        assert event.seq == 0
+        assert event.user_id == snapshot.num_users + 7
+        assert len(log) == 1
+        assert service.stats.interactions_recorded == 1
+        assert service.stats.as_dict()["interactions_recorded"] == 1
+
+    def test_attach_after_construction(self, service):
+        from repro.stream import EventLog
+
+        log = EventLog()
+        service.attach_event_log(log)
+        service.record_interaction(0, 1)
+        assert len(log) == 1
+
+    def test_rejects_unknown_item(self, snapshot):
+        from repro.stream import EventLog
+
+        service = RecommendationService(snapshot, event_log=EventLog())
+        with pytest.raises(ValueError, match="frozen catalogue"):
+            service.record_interaction(0, snapshot.num_items)
+
+    def test_rejects_negative_user(self, snapshot):
+        from repro.stream import EventLog
+
+        service = RecommendationService(snapshot, event_log=EventLog())
+        with pytest.raises(ValueError):
+            service.record_interaction(-1, 0)
+
+
+def create_snapshot_variant(snapshot, shift: float = 1.0):
     """A copy of ``snapshot`` with a different id (simulates a retrain)."""
     from repro.serve import build_snapshot
 
     variant = build_snapshot(
-        snapshot.user_embeddings + 1.0,
+        snapshot.user_embeddings + shift,
         snapshot.item_embeddings,
         model_name="variant",
     )

@@ -134,3 +134,75 @@ class TestBuildSnapshot:
                 train_indices=np.empty(0, dtype=np.int64),
                 item_popularity=np.zeros(2),
             )
+
+
+class TestDeltaSnapshot:
+    @pytest.fixture()
+    def base(self):
+        rng = np.random.default_rng(3)
+        return build_snapshot(
+            rng.normal(size=(4, 6)),
+            rng.normal(size=(9, 6)),
+            train_pairs=np.array([[0, 1], [1, 2], [2, 3]]),
+            model_name="base",
+        )
+
+    def make_delta(self, base, num_users=5, event_range=(0, 3)):
+        from repro.serve import build_delta_snapshot
+
+        rng = np.random.default_rng(7)
+        return build_delta_snapshot(
+            base,
+            user_embeddings=rng.normal(size=(num_users, base.dim)),
+            train_indptr=np.linspace(0, 3, num_users + 1).astype(np.int64),
+            train_indices=base.train_indices,
+            item_popularity=base.item_popularity,
+            event_range=event_range,
+        )
+
+    def test_provenance_fields(self, base):
+        delta = self.make_delta(base)
+        assert delta.is_delta
+        assert not base.is_delta
+        assert delta.base_snapshot_id == base.snapshot_id
+        assert delta.delta_generation == 1
+        assert delta.delta_event_range == (0, 3)
+        assert delta.snapshot_id != base.snapshot_id
+
+    def test_item_table_shared_with_base(self, base):
+        delta = self.make_delta(base)
+        assert delta.item_embeddings is base.item_embeddings
+
+    def test_generation_increments_along_chain(self, base):
+        delta1 = self.make_delta(base)
+        delta2 = self.make_delta(delta1, event_range=(3, 8))
+        assert delta2.delta_generation == 2
+        assert delta2.base_snapshot_id == delta1.snapshot_id
+        assert delta2.delta_event_range == (3, 8)
+
+    def test_metadata_user_count_updated(self, base):
+        delta = self.make_delta(base, num_users=7)
+        assert delta.metadata["num_users"] == 7
+        assert delta.num_users == 7
+
+    def test_invalid_event_range_rejected(self, base):
+        from repro.serve import build_delta_snapshot
+
+        with pytest.raises(ValueError, match="event_range"):
+            build_delta_snapshot(
+                base,
+                user_embeddings=base.user_embeddings,
+                train_indptr=base.train_indptr,
+                train_indices=base.train_indices,
+                item_popularity=base.item_popularity,
+                event_range=(5, 2),
+            )
+
+    def test_delta_round_trips_through_disk(self, base, tmp_path):
+        delta = self.make_delta(base)
+        path = save_snapshot(delta, tmp_path / "delta.npz")
+        loaded = load_snapshot(path)
+        assert loaded.is_delta
+        assert loaded.base_snapshot_id == base.snapshot_id
+        assert loaded.delta_generation == 1
+        assert loaded.delta_event_range == (0, 3)

@@ -1,0 +1,112 @@
+"""Drift monitors: KL divergence, residual tracking, cold-user ratio, signals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream import DriftConfig, DriftMonitor, EventLog, popularity_kl
+
+
+def batch_of(users, items):
+    log = EventLog()
+    log.extend(users, items)
+    return log.slice()
+
+
+class TestPopularityKL:
+    def test_identical_distributions_zero(self):
+        counts = np.array([5, 3, 2, 0])
+        assert popularity_kl(counts, counts) == pytest.approx(0.0, abs=1e-12)
+
+    def test_scaled_distributions_zero(self):
+        # Scaling changes only the smoothing's relative weight, so the KL
+        # stays near (not exactly) zero.
+        counts = np.array([4.0, 2.0, 2.0])
+        assert popularity_kl(counts * 10, counts) == pytest.approx(0.0, abs=5e-3)
+
+    def test_divergent_distributions_positive(self):
+        assert popularity_kl([100, 0, 0], [0, 0, 100]) > 1.0
+
+    def test_smoothing_prevents_infinities(self):
+        assert np.isfinite(popularity_kl([10, 0], [0, 10]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            popularity_kl([1, 2], [1, 2, 3])
+
+
+class TestMonitor:
+    @pytest.fixture()
+    def monitor(self):
+        reference = np.array([50, 30, 15, 5], dtype=np.int64)
+        config = DriftConfig(
+            kl_threshold=0.4, residual_threshold=1.0, cold_user_threshold=0.5, min_events=4
+        )
+        return DriftMonitor(reference, config=config, num_snapshot_users=10)
+
+    def test_no_signal_before_min_events(self, monitor):
+        monitor.observe_batch(batch_of([0, 1], [3, 3]))
+        assert monitor.check() is None
+
+    def test_matching_traffic_no_signal(self, monitor):
+        # Traffic proportional to the reference popularity: no drift.
+        items = [0] * 10 + [1] * 6 + [2] * 3 + [3]
+        monitor.observe_batch(batch_of(np.zeros(len(items), dtype=int), items))
+        assert monitor.check() is None
+
+    def test_popularity_shift_signals(self, monitor):
+        # All traffic on the least popular item.
+        monitor.observe_batch(batch_of(np.zeros(30, dtype=int), np.full(30, 3)))
+        signal = monitor.check()
+        assert signal is not None
+        assert "popularity_kl" in signal.reasons
+        assert signal.metrics.popularity_kl >= 0.4
+
+    def test_cold_user_surge_signals(self, monitor):
+        # Users 10.. are beyond the 10-user snapshot table.
+        items = [0] * 10 + [1] * 6 + [2] * 3 + [3]
+        users = np.arange(10, 10 + len(items))
+        monitor.observe_batch(batch_of(users, items))
+        signal = monitor.check()
+        assert signal is not None
+        assert "cold_user_ratio" in signal.reasons
+        assert signal.metrics.cold_user_ratio == 1.0
+
+    def test_residual_signals(self, monitor):
+        items = [0] * 10 + [1] * 6 + [2] * 3 + [3]
+        monitor.observe_batch(batch_of(np.zeros(len(items), dtype=int), items))
+        for _ in range(5):
+            monitor.observe_residual(3.0)
+        signal = monitor.check()
+        assert signal is not None
+        assert "fold_in_residual" in signal.reasons
+
+    def test_disabled_monitor_never_signals(self):
+        monitor = DriftMonitor(
+            np.array([1, 1]),
+            config=DriftConfig(
+                kl_threshold=None, residual_threshold=None, cold_user_threshold=None, min_events=1
+            ),
+        )
+        monitor.observe_batch(batch_of([100], [0]))
+        monitor.observe_residual(1e9)
+        assert monitor.check() is None
+
+    def test_signal_records_last_seq(self, monitor):
+        monitor.observe_batch(batch_of(np.zeros(30, dtype=int), np.full(30, 3)))
+        signal = monitor.check()
+        assert signal.as_of_seq == 29
+
+    def test_mark_refreshed_resets(self, monitor):
+        monitor.observe_batch(batch_of(np.zeros(30, dtype=int), np.full(30, 3)))
+        assert monitor.check() is not None
+        monitor.mark_refreshed(num_snapshot_users=40)
+        assert monitor.check() is None
+        assert monitor.num_snapshot_users == 40
+        assert monitor.metrics().events_observed == 0
+
+    def test_metrics_weighted_residual(self, monitor):
+        monitor.observe_residual(1.0, count=1)
+        monitor.observe_residual(4.0, count=3)
+        assert monitor.metrics().mean_residual == pytest.approx(3.25)

@@ -1,0 +1,152 @@
+"""EventLog: sequence numbers, columnar growth, replay and windows."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.stream import EventLog, InteractionEvent
+
+
+class TestAppend:
+    def test_sequence_numbers_monotone(self):
+        log = EventLog()
+        events = [log.append(u, u + 1) for u in range(5)]
+        assert [event.seq for event in events] == [0, 1, 2, 3, 4]
+        assert log.next_seq == 5
+        assert len(log) == 5
+
+    def test_append_returns_typed_event(self):
+        log = EventLog()
+        event = log.append(3, 7, timestamp=1.5, weight=2.0)
+        assert event == InteractionEvent(0, 3, 7, 1.5, 2.0)
+        assert log[0] == event
+
+    def test_negative_ids_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.append(-1, 0)
+        with pytest.raises(ValueError):
+            log.append(0, -1)
+
+    def test_growth_beyond_initial_capacity(self):
+        log = EventLog(capacity=2)
+        for i in range(100):
+            log.append(i, i)
+        assert len(log) == 100
+        assert log[99].user_id == 99
+
+    def test_extend_batch(self):
+        log = EventLog()
+        start, stop = log.extend([1, 2, 3], [4, 5, 6], weights=[1.0, 2.0, 3.0])
+        assert (start, stop) == (0, 3)
+        assert log[1].weight == 2.0
+        with pytest.raises(ValueError):
+            log.extend([1, 2], [3])
+
+    def test_out_of_range_index(self):
+        log = EventLog()
+        log.append(0, 0)
+        with pytest.raises(IndexError):
+            log[1]
+
+    def test_concurrent_appends_unique_seqs(self):
+        log = EventLog()
+        seqs: list[int] = []
+        lock = threading.Lock()
+
+        def worker(base):
+            for i in range(50):
+                event = log.append(base, i)
+                with lock:
+                    seqs.append(event.seq)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(seqs) == list(range(200))
+
+
+class TestSlicing:
+    @pytest.fixture()
+    def log(self):
+        log = EventLog()
+        log.extend(np.arange(10), np.arange(10) % 3, timestamps=np.arange(10, dtype=float))
+        return log
+
+    def test_slice_bounds(self, log):
+        batch = log.slice(2, 5)
+        np.testing.assert_array_equal(batch.users, [2, 3, 4])
+        assert (batch.seq_start, batch.seq_stop) == (2, 5)
+
+    def test_slice_copies(self, log):
+        batch = log.slice(0, 3)
+        log.append(99, 0)
+        assert batch.users.max() < 99
+
+    def test_since(self, log):
+        batch = log.since(7)
+        np.testing.assert_array_equal(batch.users, [7, 8, 9])
+
+    def test_since_beyond_end_is_empty(self, log):
+        assert len(log.since(50)) == 0
+
+    def test_batch_iterates_events(self, log):
+        events = list(log.slice(4, 6))
+        assert [e.seq for e in events] == [4, 5]
+        assert events[0].timestamp == 4.0
+
+    def test_replay_covers_range_in_batches(self, log):
+        batches = list(log.replay(4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert batches[-1].seq_stop == 10
+
+    def test_replay_pins_stop_bound(self, log):
+        iterator = log.replay(4)
+        first = next(iterator)
+        log.extend(np.arange(5), np.zeros(5, dtype=int))
+        remaining = list(iterator)
+        assert first.seq_stop + sum(len(b) for b in remaining) == 10
+
+    def test_replay_invalid_batch_size(self, log):
+        with pytest.raises(ValueError):
+            list(log.replay(0))
+
+    def test_windows(self, log):
+        assert [len(w) for w in log.windows(5)] == [5, 5]
+
+
+class TestBatchHelpers:
+    def test_item_counts(self):
+        log = EventLog()
+        log.extend([0, 1, 2, 3], [1, 1, 2, 0])
+        counts = log.item_counts(4)
+        np.testing.assert_array_equal(counts, [1, 2, 1, 0])
+
+    def test_item_counts_since(self):
+        log = EventLog()
+        log.extend([0, 1], [1, 1])
+        log.extend([2, 3], [2, 0])
+        np.testing.assert_array_equal(log.item_counts(3, start_seq=2), [1, 0, 1])
+
+    def test_by_user_groups_in_order(self):
+        log = EventLog()
+        log.extend([5, 2, 5, 2, 5], [10, 11, 12, 13, 14])
+        groups = log.slice().by_user()
+        np.testing.assert_array_equal(groups[5], [10, 12, 14])
+        np.testing.assert_array_equal(groups[2], [11, 13])
+
+    def test_by_user_with_weights(self):
+        log = EventLog()
+        log.extend([5, 2, 5], [10, 11, 12], weights=[0.5, 1.5, 2.5])
+        groups = log.slice().by_user(with_weights=True)
+        items, weights = groups[5]
+        np.testing.assert_array_equal(items, [10, 12])
+        np.testing.assert_array_equal(weights, [0.5, 2.5])
+
+    def test_by_user_empty(self):
+        assert EventLog().slice().by_user() == {}
