@@ -1,0 +1,61 @@
+"""Append benchmark measurements to a JSON history file.
+
+Each call appends one ``{"metric", "value", "commit", "date"}`` row, so the
+file accumulates a per-commit history that can be diffed or plotted to catch
+performance regressions.  The file is a plain JSON list — human-readable,
+merge-friendly, and trivially loadable with ``json.load``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = ["DEFAULT_HISTORY", "current_commit", "record"]
+
+DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_nn_compile.json"
+
+
+def current_commit() -> str:
+    """Short hash of the checked-out commit, or ``"unknown"`` outside git."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if result.returncode != 0:
+        return "unknown"
+    return result.stdout.strip() or "unknown"
+
+
+def record(metric: str, value: float, path: Path | str | None = None) -> dict:
+    """Append one measurement row and return it.
+
+    A corrupt or missing history file starts a fresh list rather than
+    failing — losing old rows is preferable to losing the new measurement.
+    """
+    path = Path(path) if path is not None else DEFAULT_HISTORY
+    row = {
+        "metric": str(metric),
+        "value": float(value),
+        "commit": current_commit(),
+        "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    rows: list = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, list):
+                rows = loaded
+        except (json.JSONDecodeError, OSError):
+            rows = []
+    rows.append(row)
+    path.write_text(json.dumps(rows, indent=2) + "\n")
+    return row

@@ -37,12 +37,41 @@ class AlignmentModule(Module):
         self.backbone = backbone
         self.semantic = semantic
 
+    #: Whether this module implements the :meth:`prepare_step` /
+    #: :meth:`pure_alignment_loss` split that lets :func:`repro.nn.compile`
+    #: trace the loss.  Modules whose loss draws per-step randomness or builds
+    #: data-dependent graph shapes keep the default ``False`` and train
+    #: eagerly through :meth:`alignment_loss`.
+    supports_compiled_step = False
+
     # ------------------------------------------------------------------ #
     # Hooks
     # ------------------------------------------------------------------ #
     def alignment_loss(self, batch: BprBatch) -> Tensor:
         """Auxiliary loss for one mini-batch (default: nothing)."""
         return Tensor(0.0)
+
+    def prepare_step(self, batch: BprBatch) -> dict[str, np.ndarray]:
+        """Impure per-step precomputation for the compiled path.
+
+        Runs *outside* the traced program, once per step: anything the loss
+        needs that is random or data-dependent (sub-sampled node ids, cluster
+        assignments) is computed here and returned as named input arrays; the
+        traced :meth:`pure_alignment_loss` receives them as tensors and must
+        not compute them itself.
+        """
+        return {}
+
+    def pure_alignment_loss(self, batch: BprBatch, prepared: dict) -> Tensor:
+        """Trace-safe loss: every step-varying value arrives via arguments.
+
+        ``batch`` fields and ``prepared`` values are tensors when tracing.
+        Only modules with ``supports_compiled_step = True`` need to implement
+        this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement a compiled step"
+        )
 
     def transform_representations(self, users: Tensor, items: Tensor) -> tuple[Tensor, Tensor]:
         """Optionally modify the backbone representations before scoring."""
@@ -101,6 +130,51 @@ class AlignedRecommender(Module):
         if self.alignment is not None and self.trade_off:
             total = total + self.trade_off * self.alignment.alignment_loss(batch)
         return total
+
+    # ------------------------------------------------------------------ #
+    # Compiled execution (repro.nn.compile)
+    # ------------------------------------------------------------------ #
+    def supports_compiled_step(self) -> bool:
+        """Whether :meth:`build_step_fn` produces a traceable step."""
+        if not getattr(self.backbone, "trace_static", False):
+            return False
+        if self.alignment is None or not self.trade_off:
+            return True
+        return bool(self.alignment.supports_compiled_step)
+
+    def make_step_inputs(self, batch: BprBatch) -> dict[str, np.ndarray]:
+        """Per-step input arrays for the compiled step (impure half).
+
+        Includes the BPR triplet arrays plus whatever the alignment module's
+        :meth:`AlignmentModule.prepare_step` contributes (sub-sampled nodes,
+        cluster assignment matrices, ...).
+        """
+        inputs: dict[str, np.ndarray] = {
+            "users": np.asarray(batch.users),
+            "pos_items": np.asarray(batch.pos_items),
+            "neg_items": np.asarray(batch.neg_items),
+        }
+        if self.alignment is not None and self.trade_off:
+            inputs.update(self.alignment.prepare_step(batch))
+        return inputs
+
+    def build_step_fn(self):
+        """A ``step_fn(params, inputs) -> loss`` suitable for ``nn.compile``.
+
+        The returned function reconstructs a :class:`BprBatch` whose fields
+        are input *tensors* (so every gather inside ``bpr_step`` becomes a
+        dynamic-index op) and routes the alignment term through the trace-safe
+        :meth:`AlignmentModule.pure_alignment_loss`.
+        """
+
+        def step_fn(params, inputs):
+            batch = BprBatch(inputs["users"], inputs["pos_items"], inputs["neg_items"])
+            total = self.backbone.bpr_step(batch)
+            if self.alignment is not None and self.trade_off:
+                total = total + self.trade_off * self.alignment.pure_alignment_loss(batch, inputs)
+            return total
+
+        return step_fn
 
     def propagate(self) -> tuple[Tensor, Tensor]:
         users, items = self.backbone.propagate()

@@ -22,7 +22,7 @@ from ...cluster import kmeans
 from ...data.sampling import BprBatch, sample_instances
 from ...llm.provider import SemanticEmbeddings
 from ...models.base import BaseRecommender
-from ...nn import Tensor, no_grad
+from ...nn import Tensor, as_tensor, no_grad
 from ..base import AlignmentModule
 from .disentangle import DisentangledProjectors, DisentangledRepresentations
 from .losses import (
@@ -110,6 +110,11 @@ class DaRec(AlignmentModule):
     """Disentangled alignment of a CF backbone with LLM semantic embeddings."""
 
     name = "darec"
+    # The impure parts of one step (node sub-sampling, K-Means, centre
+    # matching) are hoisted into prepare_step(); the remaining loss is a
+    # fixed-shape pure function of (parameters, prepared inputs), so the whole
+    # joint step can be traced by repro.nn.compile.
+    supports_compiled_step = True
 
     def __init__(
         self,
@@ -202,12 +207,114 @@ class DaRec(AlignmentModule):
         return components
 
     def alignment_loss(self, batch: BprBatch) -> Tensor:
-        components = self.loss_components(batch)
+        # Route the eager path through the same impure/pure split the compiled
+        # path uses, so eager and replayed training walk one numeric path and
+        # stay bit-identical (``loss_components`` remains available for
+        # per-term ablation inspection).
+        prepared = self.prepare_step(batch)
+        return self.pure_alignment_loss(batch, prepared)
+
+    # ------------------------------------------------------------------ #
+    # Compiled execution (repro.nn.compile): impure/pure split
+    # ------------------------------------------------------------------ #
+    def prepare_step(self, batch: BprBatch) -> dict[str, np.ndarray]:
+        """Hoist the step's impure work out of the traced program.
+
+        Draws the N̂-node sub-sample and — when the local term is active —
+        runs K-Means on *detached* shared representations, then encodes the
+        resulting (matched) cluster structure as two constant matrices per
+        side: an **assignment matrix** ``M`` (``k × N̂``, row ``c`` holding
+        ``1/|C_c|`` on the members of cluster ``c``) and a **fallback matrix**
+        ``F`` (``k × d``, the frozen K-Means centre for empty clusters, zero
+        otherwise).  The traced loss then recovers differentiable centres as
+        ``M @ shared + F``.  The RNG consumption order (sample, then one seed
+        per K-Means) matches :meth:`loss_components` exactly, so compiled and
+        legacy training walk the same random stream.
+        """
+        nodes = self._sample_nodes()
+        prepared: dict[str, np.ndarray] = {"darec_nodes": nodes}
+        if not self.config.weight("local"):
+            return prepared
+        k = self.config.num_centers
+        with no_grad():
+            reps = self.disentangle(nodes)
+            collab_data = reps.collab_shared.data
+            llm_data = reps.llm_shared.data
+            collab_result = kmeans(
+                collab_data, k, max_iterations=self.config.kmeans_iterations, seed=int(self._rng.integers(1 << 31))
+            )
+            llm_result = kmeans(
+                llm_data, k, max_iterations=self.config.kmeans_iterations, seed=int(self._rng.integers(1 << 31))
+            )
+            collab_assign, collab_fallback = _assignment_matrices(
+                collab_result.labels, collab_result.centers, k
+            )
+            llm_assign, llm_fallback = _assignment_matrices(llm_result.labels, llm_result.centers, k)
+            # Match on the same centre values the traced loss will produce.
+            collab_centers = collab_assign @ collab_data + collab_fallback
+            llm_centers = llm_assign @ llm_data + llm_fallback
+            collab_order, llm_order = match_centers(
+                collab_centers, llm_centers, strategy=self.config.matching
+            )
+        prepared["darec_collab_assign"] = collab_assign[collab_order]
+        prepared["darec_collab_fallback"] = collab_fallback[collab_order]
+        prepared["darec_llm_assign"] = llm_assign[llm_order]
+        prepared["darec_llm_fallback"] = llm_fallback[llm_order]
+        return prepared
+
+    def pure_alignment_loss(self, batch: BprBatch, prepared: dict) -> Tensor:
+        """Trace-safe DaRec objective; all step-varying data comes via ``prepared``.
+
+        Mathematically identical to :meth:`alignment_loss` — the per-cluster
+        centres are computed as an assignment-matrix product instead of
+        per-cluster gathered means, which reorders a handful of float
+        additions but nothing else.
+        """
+        config = self.config
+        nodes = prepared["darec_nodes"]
+        collaborative = self.backbone.representations().take_rows(nodes)
+        semantic = self._semantic_tensor().take_rows(nodes)
+        reps = self.projectors(collaborative, semantic)
         total: Tensor | None = None
-        for term, value in components.items():
-            weighted = value * self.config.weight(term)
+
+        def accumulate(term: str, value: Tensor) -> None:
+            nonlocal total
+            weighted = value * config.weight(term)
             total = weighted if total is None else total + weighted
+
+        if config.weight("orthogonal"):
+            accumulate(
+                "orthogonal",
+                orthogonality_loss(reps.llm_specific, reps.llm_shared)
+                + orthogonality_loss(reps.collab_specific, reps.collab_shared),
+            )
+        if config.weight("uniformity"):
+            if config.uniformity_target == "specific":
+                accumulate("uniformity", uniformity_loss(reps.collab_specific, reps.llm_specific))
+            else:
+                accumulate(
+                    "uniformity",
+                    uniformity_loss(reps.concatenated("collab"), reps.concatenated("llm")),
+                )
+        if config.weight("global"):
+            accumulate("global", global_structure_loss(reps.collab_shared, reps.llm_shared))
+        if config.weight("local"):
+            collab_centers = as_tensor(prepared["darec_collab_assign"]) @ reps.collab_shared + as_tensor(
+                prepared["darec_collab_fallback"]
+            )
+            llm_centers = as_tensor(prepared["darec_llm_assign"]) @ reps.llm_shared + as_tensor(
+                prepared["darec_llm_fallback"]
+            )
+            accumulate("local", local_structure_loss(collab_centers, llm_centers))
         return total if total is not None else Tensor(0.0)
+
+    def _semantic_tensor(self) -> Tensor:
+        """The full joint semantic matrix as a cached constant tensor."""
+        cached = getattr(self, "_semantic_constant", None)
+        if cached is None:
+            cached = Tensor(self.semantic_matrix())
+            self._semantic_constant = cached
+        return cached
 
 
 def _differentiable_centers(
@@ -222,3 +329,26 @@ def _differentiable_centers(
         else:
             rows.append(shared.take_rows(members).mean(axis=0, keepdims=True))
     return Tensor.concat(rows, axis=0)
+
+
+def _assignment_matrices(
+    labels: np.ndarray, fallback_centers: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster structure as constant matrices for the compiled local loss.
+
+    ``assign[c]`` holds ``1/|C_c|`` on cluster ``c``'s members, so
+    ``assign @ shared`` is the per-cluster mean; ``fallback[c]`` is the frozen
+    K-Means centre when cluster ``c`` is empty (zero otherwise), making
+    ``assign @ shared + fallback`` the fixed-shape analogue of
+    :func:`_differentiable_centers`.
+    """
+    count = len(labels)
+    assign = np.zeros((k, count))
+    fallback = np.zeros((k, fallback_centers.shape[1]))
+    for cluster in range(k):
+        members = np.where(labels == cluster)[0]
+        if len(members):
+            assign[cluster, members] = 1.0 / len(members)
+        else:
+            fallback[cluster] = fallback_centers[cluster]
+    return assign, fallback

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Iterator
 
 import numpy as np
+import scipy.sparse as sp
 
 from .interactions import InteractionDataset
 
@@ -50,6 +51,17 @@ class BprSampler:
         self._positives = dataset.train_positives
         if len(self._train_pairs) == 0:
             raise ValueError("cannot sample from an empty training split")
+        # CSR membership matrix for vectorised collision checks: one sparse
+        # gather replaces a Python set-lookup loop per candidate.  The RNG
+        # draw sequence is untouched (draws depend only on collision counts,
+        # which are identical), so sampled batches match the old loop exactly.
+        self._positive_matrix = sp.csr_matrix(
+            (
+                np.ones(len(self._train_pairs), dtype=bool),
+                (self._train_pairs[:, 0], self._train_pairs[:, 1]),
+            ),
+            shape=(dataset.num_users, dataset.num_items),
+        )
 
     def __len__(self) -> int:
         return int(np.ceil(len(self._train_pairs) / self.batch_size))
@@ -59,9 +71,7 @@ class BprSampler:
         num_items = self.dataset.num_items
         negatives = self._rng.integers(0, num_items, size=len(users))
         for attempt in range(self.max_rejections):
-            collisions = np.array(
-                [item in self._positives.get(int(user), ()) for user, item in zip(users, negatives)]
-            )
+            collisions = np.asarray(self._positive_matrix[users, negatives]).ravel()
             if not collisions.any():
                 break
             negatives[collisions] = self._rng.integers(0, num_items, size=int(collisions.sum()))

@@ -23,6 +23,8 @@ __all__ = ["AutoCF"]
 
 class AutoCF(GraphRecommender):
     name = "autocf"
+    # Per-step randomness / data-dependent graph shapes: cannot be traced.
+    trace_static = False
 
     def __init__(
         self,

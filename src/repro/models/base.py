@@ -31,6 +31,13 @@ class BaseRecommender(Module):
 
     name = "base"
 
+    #: Whether :meth:`bpr_step` computes the same dataflow graph on every call
+    #: (given fixed batch shapes), so :func:`repro.nn.compile` can trace it
+    #: once and replay it.  Backbones that draw per-step randomness or build
+    #: data-dependent graph shapes (``np.unique`` on batch ids) set this to
+    #: ``False`` and always train eagerly.
+    trace_static = True
+
     def __init__(
         self,
         dataset: InteractionDataset,

@@ -21,6 +21,8 @@ __all__ = ["DCCF"]
 
 class DCCF(GraphRecommender):
     name = "dccf"
+    # Per-step randomness / data-dependent graph shapes: cannot be traced.
+    trace_static = False
 
     def __init__(
         self,

@@ -21,6 +21,8 @@ class SGL(GraphRecommender):
     """
 
     name = "sgl"
+    # Per-step randomness / data-dependent graph shapes: cannot be traced.
+    trace_static = False
 
     def __init__(
         self,

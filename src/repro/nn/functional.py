@@ -49,13 +49,15 @@ def softplus(x: Tensor) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    # The stabilising shift is a constant on the tape (no max-adjoint), but
+    # ``amax`` keeps the dataflow visible so compiled replays recompute it.
+    shifted = x - x.amax(axis=axis, keepdims=True)
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - x.amax(axis=axis, keepdims=True)
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 

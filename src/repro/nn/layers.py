@@ -12,7 +12,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from . import init
-from .tensor import Tensor
+from .tensor import Tensor, TraceError, is_tracing
 
 __all__ = ["Module", "Parameter", "Linear", "MLP", "Embedding", "Dropout", "Sequential"]
 
@@ -170,6 +170,10 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.rate == 0.0:
             return x
+        if is_tracing():
+            # A traced program would bake this step's mask in forever; refuse
+            # so nn.compile falls back to eager execution instead.
+            raise TraceError("active Dropout draws a fresh mask every step and cannot be traced")
         mask = (self._rng.random(x.shape) >= self.rate) / (1.0 - self.rate)
         return x * Tensor(mask)
 

@@ -92,19 +92,35 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Scratch buffers make the update allocation-free (bar the final
+        # ``param.data`` rebind, kept so external references to the old array
+        # — snapshots, serving indexes — stay valid).  The arithmetic below
+        # preserves the exact operation order of the allocating formulation,
+        # so the trajectory is bit-identical to earlier revisions.
+        self._scratch_m = [np.empty_like(p.data) for p in self.parameters]
+        self._scratch_v = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for param, m, v, sm, sv in zip(
+            self.parameters, self._m, self._v, self._scratch_m, self._scratch_v
+        ):
             grad = self._grad(param)
             if grad is None:
                 continue
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(1.0 - self.beta1, grad, out=sm)
+            m += sm
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(1.0 - self.beta2, grad, out=sv)
+            sv *= grad
+            v += sv
+            np.true_divide(m, bias1, out=sm)           # m_hat
+            np.true_divide(v, bias2, out=sv)           # v_hat
+            np.multiply(self.lr, sm, out=sm)           # lr * m_hat
+            np.sqrt(sv, out=sv)
+            sv += self.eps
+            np.true_divide(sm, sv, out=sm)
+            param.data = param.data - sm

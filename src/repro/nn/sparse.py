@@ -29,4 +29,4 @@ def sparse_dense_matmul(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
         if dense.requires_grad:
             dense._accumulate_grad(csr.T @ out.grad)
 
-    return Tensor._make(np.asarray(value), (dense,), backward)
+    return Tensor._make(np.asarray(value), (dense,), backward, op="sparse_matmul", ctx=(csr,))

@@ -10,25 +10,52 @@ The design follows the familiar "define-by-run" tape style: every operation on
 parents, and :meth:`Tensor.backward` walks the tape in reverse topological
 order.  Only the operations actually required by the library are implemented,
 but each supports full NumPy broadcasting where that is meaningful.
+
+Besides the eager closure, every operation also records *which* primitive
+produced it (``_op``) together with the static part of its arguments
+(``_ctx``).  The eager path never looks at this metadata; it exists so that
+:mod:`repro.nn.compile` can lift one recorded graph into a flat program and
+replay it with preallocated buffers instead of re-tracing Python closures on
+every training step (HIPS/autograd-style primitive/VJP separation).
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled", "is_tracing", "TraceError"]
 
 
 _GRAD_ENABLED = True
+_TRACING = False
+
+
+class TraceError(RuntimeError):
+    """Raised when a graph cannot be lifted into a compiled program.
+
+    Typical causes: an operation without a recorded primitive, or a construct
+    whose behaviour is impure across steps (e.g. an active Dropout mask).
+    :mod:`repro.nn.compile` treats this as a signal to fall back to eager
+    re-tracing rather than replaying a silently wrong program.
+    """
 
 
 class no_grad:
-    """Context manager that disables gradient tape recording.
+    """Disable gradient tape recording, as a context manager or decorator.
 
     Used by evaluation code paths (full-ranking scoring, clustering of frozen
-    representations) where building the tape would only waste memory.
+    representations) where building the tape would only waste memory.  Both
+    spellings are supported::
+
+        with no_grad():
+            scores = model.score_all()
+
+        @no_grad()
+        def score_everything(model):
+            ...
     """
 
     def __enter__(self) -> "no_grad":
@@ -41,10 +68,36 @@ class no_grad:
         global _GRAD_ENABLED
         _GRAD_ENABLED = self._previous
 
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        return wrapper
+
 
 def is_grad_enabled() -> bool:
     """Return ``True`` when operations should be recorded on the tape."""
     return _GRAD_ENABLED
+
+
+def is_tracing() -> bool:
+    """Return ``True`` while :mod:`repro.nn.compile` is recording a program.
+
+    While tracing, parent links are kept even on tensors that do not require
+    gradients so the tracer can see the complete dataflow (index tensors,
+    stop-gradient constants); eager numerics are unaffected.
+    """
+    return _TRACING
+
+
+def _set_tracing(flag: bool) -> bool:
+    """Flip the tracing flag; returns the previous value (compile.py only)."""
+    global _TRACING
+    previous = _TRACING
+    _TRACING = bool(flag)
+    return previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -86,7 +139,7 @@ class Tensor:
         :meth:`backward` is called on a downstream scalar.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_op", "_ctx")
 
     def __init__(
         self,
@@ -104,6 +157,8 @@ class Tensor:
         self._backward: Callable[[], None] | None = None
         self._parents: tuple[Tensor, ...] = tuple(_parents)
         self.name = name
+        self._op: str | None = None
+        self._ctx: tuple = ()
 
     # ------------------------------------------------------------------ #
     # Basic introspection
@@ -160,16 +215,8 @@ class Tensor:
         else:
             self.grad = self.grad + grad
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
-        """Back-propagate from this tensor.
-
-        ``grad`` defaults to ``1.0`` and is only optional for scalars, matching
-        the PyTorch convention.
-        """
-        if grad is None:
-            if self.data.size != 1:
-                raise ValueError("backward() without a gradient requires a scalar tensor")
-            grad = np.ones_like(self.data)
+    def _toposort(self) -> list["Tensor"]:
+        """Reverse-topological node order rooted at ``self`` (parents first)."""
         topo: list[Tensor] = []
         visited: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]
@@ -185,6 +232,19 @@ class Tensor:
             for parent in node._parents:
                 if id(parent) not in visited:
                     stack.append((parent, False))
+        return topo
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor.
+
+        ``grad`` defaults to ``1.0`` and is only optional for scalars, matching
+        the PyTorch convention.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        topo = self._toposort()
         self._accumulate_grad(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
@@ -195,11 +255,16 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward: Callable[["Tensor"], None] | None,
+        op: str | None = None,
+        ctx: tuple = (),
     ) -> "Tensor":
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires, _parents=parents if requires else ())
+        keep_parents = requires or _TRACING
+        out = Tensor(data, requires_grad=requires, _parents=parents if keep_parents else ())
         if requires and backward is not None:
             out._backward = lambda: backward(out)
+        out._op = op
+        out._ctx = ctx
         return out
 
     # ------------------------------------------------------------------ #
@@ -214,7 +279,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate_grad(out.grad)
 
-        return Tensor._make(self.data + other.data, (self, other), backward)
+        return Tensor._make(self.data + other.data, (self, other), backward, op="add")
 
     __radd__ = __add__
 
@@ -223,7 +288,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(-out.grad)
 
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._make(-self.data, (self,), backward, op="neg")
 
     def __sub__(self, other) -> "Tensor":
         other = as_tensor(other)
@@ -234,7 +299,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate_grad(-out.grad)
 
-        return Tensor._make(self.data - other.data, (self, other), backward)
+        return Tensor._make(self.data - other.data, (self, other), backward, op="sub")
 
     def __rsub__(self, other) -> "Tensor":
         return as_tensor(other).__sub__(self)
@@ -248,7 +313,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate_grad(out.grad * self.data)
 
-        return Tensor._make(self.data * other.data, (self, other), backward)
+        return Tensor._make(self.data * other.data, (self, other), backward, op="mul")
 
     __rmul__ = __mul__
 
@@ -261,7 +326,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate_grad(-out.grad * self.data / (other.data**2))
 
-        return Tensor._make(self.data / other.data, (self, other), backward)
+        return Tensor._make(self.data / other.data, (self, other), backward, op="div")
 
     def __rtruediv__(self, other) -> "Tensor":
         return as_tensor(other).__truediv__(self)
@@ -274,7 +339,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(out.grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(self.data**exponent, (self,), backward)
+        return Tensor._make(self.data**exponent, (self,), backward, op="pow", ctx=(exponent,))
 
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
@@ -288,11 +353,11 @@ class Tensor:
                     self._accumulate_grad(grad @ other.data.T)
             if other.requires_grad:
                 if self.data.ndim == 1:
-                    other._accumulate_grad(np.outer(self.data, grad))
+                    other._accumulate_grad(np.outer(self.data, grad) if grad.ndim else self.data * grad)
                 else:
                     other._accumulate_grad(self.data.T @ grad)
 
-        return Tensor._make(self.data @ other.data, (self, other), backward)
+        return Tensor._make(self.data @ other.data, (self, other), backward, op="matmul")
 
     # ------------------------------------------------------------------ #
     # Reductions
@@ -306,7 +371,9 @@ class Tensor:
                 grad = np.expand_dims(grad, axis=axis)
             self._accumulate_grad(np.broadcast_to(grad, self.data.shape))
 
-        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+        return Tensor._make(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward, op="sum", ctx=(axis, keepdims)
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -323,7 +390,32 @@ class Tensor:
                 grad = np.expand_dims(grad, axis=axis)
             self._accumulate_grad(np.broadcast_to(grad, self.data.shape) / count)
 
-        return Tensor._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward)
+        return Tensor._make(
+            self.data.mean(axis=axis, keepdims=keepdims),
+            (self,),
+            backward,
+            op="mean",
+            ctx=(axis, keepdims, count),
+        )
+
+    def amax(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Max-reduction treated as a *constant* on the tape (no gradient).
+
+        The adjoint of ``max`` is intentionally not implemented: the only use
+        in this library is the numerically-stabilising shift of softmax-style
+        expressions, where the shift is treated as a constant.  Unlike wrapping
+        ``self.data.max(...)`` in a fresh :class:`Tensor`, this keeps the
+        dataflow visible to the compile tracer so replays recompute the shift
+        from the current input instead of baking a stale constant.
+        """
+        out = Tensor(
+            self.data.max(axis=axis, keepdims=keepdims),
+            requires_grad=False,
+            _parents=(self,) if _TRACING else (),
+        )
+        out._op = "amax"
+        out._ctx = (axis, keepdims)
+        return out
 
     # ------------------------------------------------------------------ #
     # Elementwise non-linearities
@@ -335,14 +427,14 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(out.grad * value)
 
-        return Tensor._make(value, (self,), backward)
+        return Tensor._make(value, (self,), backward, op="exp")
 
     def log(self, eps: float = 1e-12) -> "Tensor":
         def backward(out: Tensor) -> None:
             if self.requires_grad:
                 self._accumulate_grad(out.grad / (self.data + eps))
 
-        return Tensor._make(np.log(self.data + eps), (self,), backward)
+        return Tensor._make(np.log(self.data + eps), (self,), backward, op="log", ctx=(eps,))
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
@@ -354,7 +446,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(out.grad * mask)
 
-        return Tensor._make(self.data * mask, (self,), backward)
+        return Tensor._make(self.data * mask, (self,), backward, op="relu")
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         slope = np.where(self.data > 0, 1.0, negative_slope)
@@ -363,7 +455,9 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(out.grad * slope)
 
-        return Tensor._make(self.data * slope, (self,), backward)
+        return Tensor._make(
+            self.data * slope, (self,), backward, op="leaky_relu", ctx=(negative_slope,)
+        )
 
     def softplus(self) -> "Tensor":
         value = np.logaddexp(0.0, self.data)
@@ -373,7 +467,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(out.grad * grad_factor)
 
-        return Tensor._make(value, (self,), backward)
+        return Tensor._make(value, (self,), backward, op="softplus")
 
     def sigmoid(self) -> "Tensor":
         value = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
@@ -382,7 +476,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(out.grad * value * (1.0 - value))
 
-        return Tensor._make(value, (self,), backward)
+        return Tensor._make(value, (self,), backward, op="sigmoid")
 
     def tanh(self) -> "Tensor":
         value = np.tanh(self.data)
@@ -391,7 +485,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(out.grad * (1.0 - value**2))
 
-        return Tensor._make(value, (self,), backward)
+        return Tensor._make(value, (self,), backward, op="tanh")
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
@@ -400,7 +494,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(out.grad * sign)
 
-        return Tensor._make(np.abs(self.data), (self,), backward)
+        return Tensor._make(np.abs(self.data), (self,), backward, op="abs")
 
     def clip(self, low: float, high: float) -> "Tensor":
         mask = (self.data >= low) & (self.data <= high)
@@ -409,7 +503,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(out.grad * mask)
 
-        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward, op="clip", ctx=(low, high))
 
     # ------------------------------------------------------------------ #
     # Shape manipulation
@@ -423,7 +517,9 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(out.grad.reshape(original))
 
-        return Tensor._make(self.data.reshape(shape), (self,), backward)
+        return Tensor._make(
+            self.data.reshape(shape), (self,), backward, op="reshape", ctx=(tuple(shape), original)
+        )
 
     @property
     def T(self) -> "Tensor":
@@ -439,25 +535,41 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(out.grad.transpose(inverse))
 
-        return Tensor._make(self.data.transpose(axes), (self,), backward)
+        return Tensor._make(
+            self.data.transpose(axes), (self,), backward, op="transpose", ctx=(axes, tuple(inverse))
+        )
 
     def take_rows(self, indices) -> "Tensor":
-        """Gather rows (first-axis indexing); adjoint scatters with ``np.add.at``."""
-        indices = np.asarray(indices, dtype=np.int64)
+        """Gather rows (first-axis indexing); adjoint scatters with ``np.add.at``.
+
+        ``indices`` may be a plain integer array (baked into the op as a
+        constant) or a :class:`Tensor` — the latter marks the gather as
+        *dynamic* so the compile tracer re-reads the index array on every
+        replay (this is how per-batch user/item ids flow through a compiled
+        step).  Gradients never propagate into the index operand.
+        """
+        if isinstance(indices, Tensor):
+            idx = np.asarray(indices.data, dtype=np.int64)
+            parents: tuple[Tensor, ...] = (self, indices)
+            ctx: tuple = ("dynamic",)
+        else:
+            idx = np.asarray(indices, dtype=np.int64)
+            parents = (self,)
+            ctx = ("static", idx)
 
         def backward(out: Tensor) -> None:
             if self.requires_grad:
                 grad = np.zeros_like(self.data)
-                np.add.at(grad, indices, out.grad)
+                np.add.at(grad, idx, out.grad)
                 self._accumulate_grad(grad)
 
-        return Tensor._make(self.data[indices], (self,), backward)
+        return Tensor._make(self.data[idx], parents, backward, op="take_rows", ctx=ctx)
 
     def __getitem__(self, key) -> "Tensor":
         # Fancy integer-array indexing may contain duplicate rows, which the
         # simple ``grad[key] = out.grad`` scatter would silently overwrite, so
         # it is routed through :meth:`take_rows` (which uses ``np.add.at``).
-        if isinstance(key, (np.ndarray, list)):
+        if isinstance(key, (np.ndarray, list, Tensor)):
             return self.take_rows(key)
 
         def backward(out: Tensor) -> None:
@@ -466,7 +578,7 @@ class Tensor:
                 grad[key] = out.grad
                 self._accumulate_grad(grad)
 
-        return Tensor._make(self.data[key], (self,), backward)
+        return Tensor._make(self.data[key], (self,), backward, op="getitem", ctx=(key,))
 
     @staticmethod
     def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
@@ -481,7 +593,13 @@ class Tensor:
                     slicer[axis] = slice(start, stop)
                     tensor._accumulate_grad(out.grad[tuple(slicer)])
 
-        return Tensor._make(np.concatenate([t.data for t in tensors], axis=axis), tensors, backward)
+        return Tensor._make(
+            np.concatenate([t.data for t in tensors], axis=axis),
+            tensors,
+            backward,
+            op="concat",
+            ctx=(axis, tuple(int(o) for o in offsets)),
+        )
 
     @staticmethod
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
@@ -493,4 +611,6 @@ class Tensor:
                 if tensor.requires_grad:
                     tensor._accumulate_grad(grad)
 
-        return Tensor._make(np.stack([t.data for t in tensors], axis=axis), tensors, backward)
+        return Tensor._make(
+            np.stack([t.data for t in tensors], axis=axis), tensors, backward, op="stack", ctx=(axis,)
+        )

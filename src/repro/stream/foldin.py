@@ -203,8 +203,13 @@ def gradient_fold_in(
     zeros).  Converges to the closed-form solution with enough steps; prefer
     it when warm-starting from a previous embedding or bounding per-update
     compute matters more than exactness.
+
+    The loss graph is identical on every iteration (nothing varies but the
+    user vector), so the loop runs through :func:`repro.nn.compile`: the first
+    step traces the objective, the remaining ``steps - 1`` replay it with
+    preallocated buffers.
     """
-    from ..nn import Adam, Parameter, as_tensor
+    from ..nn import Adam, Parameter, as_tensor, compile as nn_compile
 
     item_vectors = np.atleast_2d(np.asarray(item_vectors, dtype=np.float64))
     count, dim = item_vectors.shape
@@ -217,18 +222,23 @@ def gradient_fold_in(
     matrix = as_tensor(item_vectors)
     target = as_tensor(y.reshape(count, 1))
     gram_tensor = as_tensor(np.asarray(gram, dtype=np.float64)) if w0 > 0 else None
-    optimiser = Adam([user], lr=learning_rate)
-    for _ in range(steps):
-        optimiser.zero_grad()
-        predicted = matrix @ user.transpose()
+
+    def objective(params, inputs):
+        (vector,) = params
+        predicted = matrix @ vector.transpose()
         error = predicted - target
         # w0 Σ_unobs (u·v)² == w0 (u G uᵀ - ||V_S u||²): catalogue quadratic
         # minus the positives' own contribution.
-        loss = (positive_boost + w0) * (error * error).sum() + l2 * (user * user).sum()
+        loss = (positive_boost + w0) * (error * error).sum() + l2 * (vector * vector).sum()
         if gram_tensor is not None:
-            catalogue_quad = ((user @ gram_tensor) * user).sum()
+            catalogue_quad = ((vector @ gram_tensor) * vector).sum()
             loss = loss + w0 * (catalogue_quad - (predicted * predicted).sum())
-        loss.backward()
+        return loss
+
+    step = nn_compile(objective)
+    optimiser = Adam([user], lr=learning_rate)
+    for _ in range(steps):
+        step([user], {})
         optimiser.step()
     solution = user.data.ravel().copy()
     residual = float(np.linalg.norm(item_vectors @ solution - y) / np.sqrt(count))

@@ -22,6 +22,10 @@ class TrainingConfig:
     learning_rate: float = 1e-3
     trade_off: float = 0.1
     weight_decay: float = 0.0
+    #: Trace-and-replay execution via :func:`repro.nn.compile`.  On by
+    #: default; models whose step cannot be traced (per-step randomness,
+    #: data-dependent shapes) transparently keep training eagerly.
+    compile: bool = True
     eval_every: int = 0
     eval_ks: tuple[int, ...] = (5, 10, 20)
     early_stopping_patience: int = 0

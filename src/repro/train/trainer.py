@@ -11,7 +11,7 @@ from ..data.interactions import InteractionDataset
 from ..data.sampling import BprSampler
 from ..eval.protocol import EvaluationResult, RankingEvaluator
 from ..models.base import BaseRecommender
-from ..nn import Adam
+from ..nn import Adam, CompiledStep, compile as nn_compile
 from .config import TrainingConfig
 from .early_stopping import EarlyStopping
 
@@ -56,18 +56,29 @@ class Trainer:
             weight_decay=self.config.weight_decay,
         )
         self.evaluator = RankingEvaluator(self.dataset, ks=self.config.eval_ks)
+        self.compiled_step: CompiledStep | None = None
+        self._step_params = list(self.optimizer.parameters)
+        if self.config.compile and self.model.supports_compiled_step():
+            self.compiled_step = nn_compile(self.model.build_step_fn())
 
     def train_epoch(self) -> float:
         """One pass over the training interactions; returns the mean batch loss."""
         self.model.train()
         self.model.on_epoch_start()
         losses: list[float] = []
-        for batch in self.sampler.epoch():
-            self.optimizer.zero_grad()
-            loss = self.model.loss(batch)
-            loss.backward()
-            self.optimizer.step()
-            losses.append(loss.item())
+        if self.compiled_step is not None:
+            for batch in self.sampler.epoch():
+                inputs = self.model.make_step_inputs(batch)
+                loss_value = self.compiled_step(self._step_params, inputs)
+                self.optimizer.step()
+                losses.append(loss_value)
+        else:
+            for batch in self.sampler.epoch():
+                self.optimizer.zero_grad()
+                loss = self.model.loss(batch)
+                loss.backward()
+                self.optimizer.step()
+                losses.append(loss.item())
         return float(np.mean(losses)) if losses else 0.0
 
     def fit(self) -> TrainingHistory:

@@ -137,3 +137,75 @@ class TestDaRecTraining:
         module = DaRec(lightgcn_backbone, tiny_semantic, config)
         components = module.loss_components(bpr_batch)
         assert np.isfinite(components["uniformity"].item())
+
+
+class TestPreparePureSplit:
+    """The impure/pure step split behind the compiled execution path."""
+
+    def _fresh_darec(self, backbone, semantic):
+        config = DaRecConfig(shared_dim=12, hidden_dim=12, num_centers=3, sample_size=48, seed=0)
+        return DaRec(backbone, semantic, config)
+
+    def test_supports_compiled_step_flag(self, darec):
+        assert darec.supports_compiled_step is True
+
+    def test_prepared_arrays_are_plain_numpy(self, darec, bpr_batch):
+        prepared = darec.prepare_step(bpr_batch)
+        assert set(prepared) == {
+            "darec_nodes",
+            "darec_collab_assign",
+            "darec_collab_fallback",
+            "darec_llm_assign",
+            "darec_llm_fallback",
+        }
+        for value in prepared.values():
+            assert isinstance(value, np.ndarray)
+
+    def test_prepare_skips_clustering_when_local_disabled(
+        self, lightgcn_backbone, tiny_semantic, bpr_batch
+    ):
+        config = DaRecConfig(shared_dim=12, hidden_dim=12, sample_size=48, seed=0).without("local")
+        module = DaRec(lightgcn_backbone, tiny_semantic, config)
+        prepared = module.prepare_step(bpr_batch)
+        assert set(prepared) == {"darec_nodes"}
+
+    def test_split_matches_legacy_loss_and_gradients(
+        self, lightgcn_backbone, tiny_semantic, bpr_batch
+    ):
+        # Two identical modules on the same RNG stream: the delegating
+        # alignment_loss and an explicit prepare + pure call must agree
+        # bitwise, gradients included.
+        module_a = self._fresh_darec(lightgcn_backbone, tiny_semantic)
+        module_b = self._fresh_darec(lightgcn_backbone, tiny_semantic)
+        loss_a = module_a.alignment_loss(bpr_batch)
+        prepared = module_b.prepare_step(bpr_batch)
+        loss_b = module_b.pure_alignment_loss(bpr_batch, prepared)
+        assert loss_a.item() == loss_b.item()
+        loss_a.backward()
+        grads_a = {id(p): p.grad.copy() for p in lightgcn_backbone.parameters()}
+        for param in lightgcn_backbone.parameters():
+            param.zero_grad()
+        loss_b.backward()
+        for param in lightgcn_backbone.parameters():
+            np.testing.assert_array_equal(param.grad, grads_a[id(param)])
+
+    def test_pure_loss_matches_component_sum(self, darec, bpr_batch):
+        # loss_components keeps the per-cluster gathered-mean formulation; the
+        # assignment-matrix centres only reorder a few float additions, so the
+        # totals agree to numerical precision (not necessarily bitwise).
+        state = darec._rng.bit_generator.state
+        components = darec.loss_components(bpr_batch)
+        expected = sum(value.item() * darec.config.weight(term) for term, value in components.items())
+        darec._rng.bit_generator.state = state  # replay the same draws
+        prepared = darec.prepare_step(bpr_batch)
+        actual = darec.pure_alignment_loss(bpr_batch, prepared).item()
+        assert actual == pytest.approx(expected, rel=1e-9)
+
+    def test_rng_stream_consumption_matches_legacy(self, lightgcn_backbone, tiny_semantic, bpr_batch):
+        # prepare_step must consume exactly the draws loss_components would,
+        # so alternating paths across steps cannot desynchronise a run.
+        module_a = self._fresh_darec(lightgcn_backbone, tiny_semantic)
+        module_b = self._fresh_darec(lightgcn_backbone, tiny_semantic)
+        module_a.loss_components(bpr_batch)
+        module_b.prepare_step(bpr_batch)
+        assert module_a._rng.bit_generator.state == module_b._rng.bit_generator.state

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.nn import Tensor, as_tensor, is_grad_enabled, no_grad
+from repro.nn.tensor import _unbroadcast
 
 
 class TestBackwardMechanics:
@@ -148,3 +149,88 @@ class TestBroadcastUnbroadcast:
         data = Tensor(np.full((4, 3), 2.0))
         (data * column).sum().backward()
         np.testing.assert_allclose(column.grad, np.full((4, 1), 6.0))
+
+
+class TestNoGradDecorator:
+    def test_decorator_disables_recording(self):
+        @no_grad()
+        def double(tensor):
+            assert not is_grad_enabled()
+            return tensor * 2.0
+
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        out = double(tensor)
+        assert is_grad_enabled()  # restored after the call
+        assert not out.requires_grad
+
+    def test_decorator_restores_flag_on_exception(self):
+        @no_grad()
+        def explode():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            explode()
+        assert is_grad_enabled()
+
+    def test_decorator_preserves_metadata_and_passthrough(self):
+        @no_grad()
+        def documented(a, b=2.0):
+            """docstring survives wrapping"""
+            return a + b
+
+        assert documented.__name__ == "documented"
+        assert "survives" in documented.__doc__
+        assert documented(1.0) == 3.0
+
+    def test_nested_decorator_inside_context_manager(self):
+        @no_grad()
+        def inner():
+            return is_grad_enabled()
+
+        with no_grad():
+            assert inner() is False
+            assert not is_grad_enabled()  # outer context still active
+        assert is_grad_enabled()
+
+
+class TestUnbroadcastEdgeCases:
+    """Direct unit coverage of the broadcasting adjoint."""
+
+    def test_identity_when_shapes_match(self):
+        grad = np.arange(6.0).reshape(2, 3)
+        out = _unbroadcast(grad, (2, 3))
+        assert out is grad  # no copy on the fast path
+
+    def test_prepended_axes_summed(self):
+        grad = np.ones((4, 2, 3))
+        np.testing.assert_array_equal(_unbroadcast(grad, (2, 3)), np.full((2, 3), 4.0))
+
+    def test_stretched_axis_summed_with_keepdims(self):
+        grad = np.ones((2, 5))
+        np.testing.assert_array_equal(_unbroadcast(grad, (2, 1)), np.full((2, 1), 5.0))
+
+    def test_prepended_and_stretched_axes_combined(self):
+        # (1, 3) broadcast against (4, 2, 3) -> grad (4, 2, 3); the adjoint
+        # sums the prepended leading axis AND the stretched row axis.
+        grad = np.ones((4, 2, 3))
+        np.testing.assert_array_equal(_unbroadcast(grad, (1, 3)), np.full((1, 3), 8.0))
+
+    def test_column_and_row_stretch_combined(self):
+        grad = np.arange(24.0).reshape(2, 3, 4)
+        out = _unbroadcast(grad, (2, 1, 1))
+        np.testing.assert_array_equal(out, grad.sum(axis=(1, 2), keepdims=True))
+
+    def test_zero_d_grad_target(self):
+        grad = np.ones((4, 2))
+        out = _unbroadcast(grad, ())
+        assert out.shape == ()
+        assert out == 8.0
+
+    def test_zero_d_grad_passthrough(self):
+        grad = np.array(3.5)
+        out = _unbroadcast(grad, ())
+        assert out is grad
+
+    def test_scalar_grad_into_length_one_vector(self):
+        grad = np.ones((7, 1))
+        np.testing.assert_array_equal(_unbroadcast(grad, (1,)), np.array([7.0]))

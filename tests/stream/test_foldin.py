@@ -149,3 +149,48 @@ class TestConfigValidation:
     def test_invalid_config_rejected(self, kwargs):
         with pytest.raises(ValueError):
             FoldInConfig(**kwargs)
+
+
+class TestCompiledGradientFoldIn:
+    """gradient_fold_in runs through nn.compile; verify against a hand-rolled
+    eager Adam loop on the same objective."""
+
+    def _eager_reference(self, items, y, l2, gram, w0, boost, steps, lr):
+        from repro.nn import Adam, Parameter, as_tensor
+
+        count, dim = items.shape
+        user = Parameter(np.zeros((1, dim)))
+        matrix = as_tensor(items)
+        target = as_tensor(y.reshape(count, 1))
+        gram_tensor = as_tensor(gram) if gram is not None and w0 > 0 else None
+        optimiser = Adam([user], lr=lr)
+        for _ in range(steps):
+            optimiser.zero_grad()
+            predicted = matrix @ user.transpose()
+            error = predicted - target
+            loss = (boost + (w0 if gram is not None else 0.0)) * (error * error).sum()
+            loss = loss + l2 * (user * user).sum()
+            if gram_tensor is not None:
+                catalogue_quad = ((user @ gram_tensor) * user).sum()
+                loss = loss + w0 * (catalogue_quad - (predicted * predicted).sum())
+            loss.backward()
+            optimiser.step()
+        return user.data.ravel().copy()
+
+    def test_matches_eager_reference_bitwise(self, items):
+        history = items[:7]
+        y = np.ones(7)
+        solution, _ = gradient_fold_in(history, l2=0.3, steps=40, learning_rate=0.05)
+        reference = self._eager_reference(history, y, 0.3, None, 0.0, 1.0, 40, 0.05)
+        np.testing.assert_array_equal(solution, reference)
+
+    def test_matches_eager_reference_with_gram(self, items):
+        history = items[:5]
+        y = np.ones(5)
+        gram = item_gram(items)
+        solution, _ = gradient_fold_in(
+            history, l2=0.3, gram=gram, implicit_weight=0.5, steps=30, learning_rate=0.05
+        )
+        reference = self._eager_reference(history, y, 0.3, gram, 0.5, 1.0, 30, 0.05)
+        np.testing.assert_array_equal(solution, reference)
+
