@@ -4,12 +4,23 @@ Each call appends one ``{"metric", "value", "commit", "date"}`` row, so the
 file accumulates a per-commit history that can be diffed or plotted to catch
 performance regressions.  The file is a plain JSON list — human-readable,
 merge-friendly, and trivially loadable with ``json.load``.
+
+Updates are crash-safe: the grown list is written to a temporary file and
+renamed over the history via ``os.replace``, so a benchmark process killed
+mid-record leaves the previous history intact instead of a truncated JSON
+document.  If the history is nonetheless found malformed (hand edit, merge
+conflict), it is backed up beside itself with a ``.corrupt`` suffix — old
+rows are preserved for manual recovery — and a fresh list is started with a
+warning.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import subprocess
+import tempfile
+import warnings
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -35,11 +46,36 @@ def current_commit() -> str:
     return result.stdout.strip() or "unknown"
 
 
+def _load_history(path: Path) -> list:
+    """Existing rows, or a fresh list after backing a malformed file up."""
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return []
+    try:
+        loaded = json.loads(text)
+    except json.JSONDecodeError:
+        loaded = None
+    if isinstance(loaded, list):
+        return loaded
+    backup = path.with_name(path.name + ".corrupt")
+    os.replace(path, backup)
+    warnings.warn(
+        f"benchmark history {path} was not a JSON list; backed it up to "
+        f"{backup.name} and started a fresh history",
+        stacklevel=3,
+    )
+    return []
+
+
 def record(metric: str, value: float, path: Path | str | None = None) -> dict:
     """Append one measurement row and return it.
 
-    A corrupt or missing history file starts a fresh list rather than
-    failing — losing old rows is preferable to losing the new measurement.
+    The write is atomic (temp file + ``os.replace``): a crash mid-record can
+    never truncate the accumulated history.  A malformed history file is
+    backed up with a ``.corrupt`` suffix and a fresh list is started with a
+    warning — losing the *view* of old rows is preferable to losing the new
+    measurement, and the backup keeps them recoverable.
     """
     path = Path(path) if path is not None else DEFAULT_HISTORY
     row = {
@@ -48,14 +84,19 @@ def record(metric: str, value: float, path: Path | str | None = None) -> dict:
         "commit": current_commit(),
         "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
-    rows: list = []
-    if path.exists():
-        try:
-            loaded = json.loads(path.read_text())
-            if isinstance(loaded, list):
-                rows = loaded
-        except (json.JSONDecodeError, OSError):
-            rows = []
+    rows = _load_history(path)
     rows.append(row)
-    path.write_text(json.dumps(rows, indent=2) + "\n")
+    payload = json.dumps(rows, indent=2) + "\n"
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        Path(tmp_name).unlink(missing_ok=True)
+        raise
     return row

@@ -1,0 +1,59 @@
+"""Benchmark history recorder: atomic appends and malformed-file recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from .record import _load_history, current_commit, record
+
+
+class TestRecord:
+    def test_appends_rows_across_calls(self, tmp_path):
+        history = tmp_path / "bench.json"
+        first = record("speedup", 1.5, path=history)
+        second = record("speedup", 1.7, path=history)
+        rows = json.loads(history.read_text())
+        assert [row["value"] for row in rows] == [1.5, 1.7]
+        assert first["metric"] == second["metric"] == "speedup"
+        assert all(set(row) == {"metric", "value", "commit", "date"} for row in rows)
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        history = tmp_path / "bench.json"
+        record("m", 1.0, path=history)
+        record("m", 2.0, path=history)
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "bench.json"]
+        assert leftovers == []
+
+    def test_history_is_always_complete_json(self, tmp_path):
+        # The on-disk file is replaced atomically, so at any observable point
+        # it parses as a full JSON list.
+        history = tmp_path / "bench.json"
+        for n in range(5):
+            record("m", float(n), path=history)
+            assert isinstance(json.loads(history.read_text()), list)
+
+    def test_malformed_history_is_backed_up_not_destroyed(self, tmp_path):
+        history = tmp_path / "bench.json"
+        history.write_text('[{"metric": "m", "value"')  # truncated document
+        with pytest.warns(UserWarning, match="backed it up"):
+            row = record("m", 3.0, path=history)
+        backup = tmp_path / "bench.json.corrupt"
+        assert backup.read_text().startswith('[{"metric"')
+        rows = json.loads(history.read_text())
+        assert rows == [row]
+
+    def test_non_list_history_is_treated_as_malformed(self, tmp_path):
+        history = tmp_path / "bench.json"
+        history.write_text('{"metric": "m"}')  # valid JSON, wrong shape
+        with pytest.warns(UserWarning, match="not a JSON list"):
+            assert _load_history(history) == []
+        assert (tmp_path / "bench.json.corrupt").exists()
+
+    def test_missing_history_starts_empty(self, tmp_path):
+        assert _load_history(tmp_path / "absent.json") == []
+
+    def test_current_commit_is_short_hash_or_unknown(self):
+        commit = current_commit()
+        assert commit == "unknown" or (4 <= len(commit) <= 16)

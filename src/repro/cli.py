@@ -9,6 +9,7 @@ Usage::
     python -m repro recommend --snapshot model.npz --user 3 --user 17 -k 10 --index ivf
     python -m repro stream-simulate --events 2000 --smoke
     python -m repro fold-in --snapshot model.npz --user 9999 --item 3 --item 17 --item 42
+    python -m repro retrain-loop --directory /tmp/lifecycle --smoke
 """
 
 from __future__ import annotations
@@ -126,6 +127,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="fast CI configuration (tiny scale, small chunks) with sanity assertions",
+    )
+
+    retrain_loop = subparsers.add_parser(
+        "retrain-loop",
+        help="run the fault-tolerant lifecycle once: durable WAL ingest, drift "
+        "detection, blue/green retrain with gated promotion and auto-rollback",
+    )
+    retrain_loop.add_argument(
+        "--directory", "-d", required=True, help="run directory (WAL, journal, snapshots)"
+    )
+    retrain_loop.add_argument(
+        "--dataset", default="amazon-book", choices=sorted(BENCHMARKS), help="synthetic benchmark"
+    )
+    retrain_loop.add_argument("--scale", type=float, default=0.25, help="dataset size multiplier")
+    retrain_loop.add_argument(
+        "--holdout",
+        type=float,
+        default=0.3,
+        help="fraction of users held out of the incumbent and replayed as a stream",
+    )
+    retrain_loop.add_argument("-k", "--top-k", type=int, default=20, help="recall cut-off")
+    retrain_loop.add_argument("--epochs", type=int, default=3, help="retrain epochs")
+    retrain_loop.add_argument(
+        "--embedding-dim", type=int, default=32, help="backbone embedding width"
+    )
+    retrain_loop.add_argument(
+        "--chunk-size", type=int, default=256, help="events per micro-batch / orchestrator tick"
+    )
+    retrain_loop.add_argument(
+        "--events", type=int, default=None, help="cap on the number of streamed events"
+    )
+    retrain_loop.add_argument(
+        "--min-recall-ratio",
+        type=float,
+        default=0.9,
+        help="promotion gate: candidate recall must reach this fraction of the incumbent's",
+    )
+    retrain_loop.add_argument(
+        "--worker",
+        action="store_true",
+        help="run the retrain in a disposable worker process",
+    )
+    retrain_loop.add_argument("--seed", type=int, default=0, help="random seed")
+    retrain_loop.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI configuration (tiny scale) with lifecycle assertions",
     )
 
     fold_in = subparsers.add_parser(
@@ -285,6 +333,49 @@ def _command_stream_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_retrain_loop(args: argparse.Namespace) -> int:
+    from .orchestrate.loop import RetrainLoopConfig, run_retrain_loop
+
+    scale = args.scale
+    epochs = args.epochs
+    if args.smoke:
+        scale = min(scale, 0.15)
+        epochs = min(epochs, 2)
+    config = RetrainLoopConfig(
+        directory=args.directory,
+        dataset=args.dataset,
+        scale=scale,
+        holdout_fraction=args.holdout,
+        k=args.top_k,
+        epochs=epochs,
+        embedding_dim=args.embedding_dim,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+        max_events=args.events,
+        min_recall_ratio=args.min_recall_ratio,
+        use_worker=args.worker,
+    )
+    result = run_retrain_loop(config)
+    print_table(
+        [result.as_row()],
+        title=f"retrain-loop — {args.dataset} scale={scale} (run {result.run_id or '-'})",
+    )
+    for report in result.reports:
+        if not report.idle:
+            print(f"tick actions: {'; '.join(report.actions)}")
+    if args.smoke:
+        # CI lifecycle floor: the stream must trip drift, the orchestrator
+        # must drive the run to a terminal outcome, and a promotion must not
+        # regress recall below the incumbent's gate fraction.
+        assert result.outcome is not None, "smoke run never reached a terminal outcome"
+        assert result.wal_records > 0, "smoke run streamed no events through the WAL"
+        if result.outcome == "promoted":
+            assert result.serving_id != result.incumbent_id, "promotion did not swap"
+            assert result.final_recall >= config.min_recall_ratio * result.incumbent_recall
+        print("smoke assertions passed")
+    return 0
+
+
 def _command_fold_in(args: argparse.Namespace) -> int:
     from .serve import RecommendationService, load_snapshot, save_snapshot
     from .stream import EventLog, FoldInConfig, StreamingUpdater
@@ -342,6 +433,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_recommend(args)
     if args.command == "stream-simulate":
         return _command_stream_simulate(args)
+    if args.command == "retrain-loop":
+        return _command_retrain_loop(args)
     if args.command == "fold-in":
         return _command_fold_in(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -48,11 +48,20 @@ class RatingTable:
         self.items = np.asarray(self.items, dtype=np.int64)
         self.ratings = np.asarray(self.ratings, dtype=np.float64)
         if not (len(self.users) == len(self.items) == len(self.ratings)):
-            raise ValueError("users, items and ratings must have equal length")
+            raise ValueError(
+                "users, items and ratings must have equal length "
+                f"(got {len(self.users)}, {len(self.items)} and {len(self.ratings)})"
+            )
         if len(self.users) and (self.users.min() < 0 or self.users.max() >= self.num_users):
-            raise ValueError("user index out of range")
+            raise ValueError(
+                f"user index out of range: ids span [{self.users.min()}, "
+                f"{self.users.max()}] but valid ids are 0..{self.num_users - 1}"
+            )
         if len(self.items) and (self.items.min() < 0 or self.items.max() >= self.num_items):
-            raise ValueError("item index out of range")
+            raise ValueError(
+                f"item index out of range: ids span [{self.items.min()}, "
+                f"{self.items.max()}] but valid ids are 0..{self.num_items - 1}"
+            )
 
     def __len__(self) -> int:
         return len(self.users)
@@ -93,7 +102,18 @@ class RatingTable:
         items = np.asarray(items, dtype=np.int64)
         ratings = np.ones(len(users)) if ratings is None else np.asarray(ratings, dtype=np.float64)
         if not (len(users) == len(items) == len(ratings)):
-            raise ValueError("users, items and ratings must have equal length")
+            raise ValueError(
+                "append needs parallel arrays: users, items and ratings must "
+                f"have equal length (got {len(users)}, {len(items)} and {len(ratings)})"
+            )
+        if len(users) and users.min() < 0:
+            raise ValueError(
+                f"append got a negative user id ({users.min()}); ids must be >= 0"
+            )
+        if len(items) and items.min() < 0:
+            raise ValueError(
+                f"append got a negative item id ({items.min()}); ids must be >= 0"
+            )
         num_users = self.num_users if not len(users) else max(self.num_users, int(users.max()) + 1)
         num_items = self.num_items if not len(items) else max(self.num_items, int(items.max()) + 1)
         return RatingTable(

@@ -1,0 +1,32 @@
+"""Automated lifecycle orchestration: drift signal → retrain → promote/rollback.
+
+:mod:`repro.stream` detects that the serving snapshot has drifted
+(:class:`~repro.stream.drift.RefreshSignal`); this package acts on it.
+:class:`~repro.orchestrate.retrain.RetrainOrchestrator` runs the blue/green
+control loop — export the log-patched training table, retrain in a worker
+process, gate the candidate on offline recall against the incumbent, hot-swap,
+watch, and automatically roll back on regression — journaling every step to an
+atomically-published state file so a killed controller resumes exactly where
+it died instead of retraining from scratch.
+
+:mod:`repro.orchestrate.loop` packages the whole story as a runnable scenario
+behind the ``repro retrain-loop`` CLI subcommand.
+"""
+
+from .retrain import (
+    OrchestratorError,
+    OrchestratorJournal,
+    RetrainConfig,
+    RetrainOrchestrator,
+    TickReport,
+    offline_recall,
+)
+
+__all__ = [
+    "OrchestratorError",
+    "OrchestratorJournal",
+    "RetrainConfig",
+    "RetrainOrchestrator",
+    "TickReport",
+    "offline_recall",
+]

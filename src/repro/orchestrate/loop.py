@@ -1,0 +1,194 @@
+"""End-to-end fault-tolerant lifecycle scenario behind ``repro retrain-loop``.
+
+One process, the whole story:
+
+1. generate a synthetic benchmark and hold the last fraction of users out of
+   the *incumbent* snapshot (trained on the retained users only);
+2. serve the incumbent from a :class:`~repro.serve.RecommendationService`
+   whose event log is a **durable WAL** in the run directory;
+3. replay the held-out users' interactions as timestamped events through the
+   :class:`~repro.stream.updater.StreamingUpdater` — every event is fsynced
+   into the WAL before it is acknowledged, folded in incrementally, and
+   observed by the drift monitor (an all-cold-user stream trips the
+   ``cold_user_ratio`` monitor quickly);
+4. run one :class:`~repro.orchestrate.retrain.RetrainOrchestrator` tick per
+   micro-batch.  When drift trips, the orchestrator retrains on the
+   log-patched table, gates the candidate on offline recall@K against the
+   incumbent, hot-swaps, watches, and rolls back on regression — journaling
+   every stage into the same run directory.
+
+The function returns a :class:`RetrainLoopResult` summarising what happened;
+``--smoke`` mode asserts the lifecycle actually completed (drift detected,
+candidate promoted, recall did not collapse) so CI exercises the whole path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..data.interactions import RatingTable
+from ..data.synthetic import load_benchmark
+from ..serve.service import RecommendationService
+from ..stream.drift import DriftConfig
+from ..stream.events import EventLog
+from ..stream.updater import StreamingUpdater, live_popularity
+from .retrain import RetrainConfig, RetrainOrchestrator, TickReport, offline_recall
+
+__all__ = ["RetrainLoopConfig", "RetrainLoopResult", "run_retrain_loop"]
+
+
+@dataclass(frozen=True)
+class RetrainLoopConfig:
+    """Knobs of the lifecycle scenario."""
+
+    directory: Path | str = "retrain-loop"
+    dataset: str = "amazon-book"
+    scale: float = 0.25
+    holdout_fraction: float = 0.3
+    k: int = 20
+    epochs: int = 3
+    embedding_dim: int = 32
+    seed: int = 0
+    chunk_size: int = 256
+    max_events: int | None = None
+    min_recall_ratio: float = 0.9
+    use_worker: bool = False
+    max_ticks: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.holdout_fraction < 1.0:
+            raise ValueError("holdout_fraction must be in (0, 1)")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.max_ticks <= 0:
+            raise ValueError("max_ticks must be positive")
+
+
+@dataclass(frozen=True)
+class RetrainLoopResult:
+    """Outcome of one :func:`run_retrain_loop` run."""
+
+    outcome: str | None
+    run_id: str | None
+    events_streamed: int
+    wal_records: int
+    ticks: int
+    incumbent_recall: float
+    final_recall: float
+    incumbent_id: str
+    serving_id: str
+    reports: tuple[TickReport, ...] = field(repr=False, default=())
+
+    def as_row(self) -> dict:
+        return {
+            "outcome": self.outcome or "-",
+            "events": self.events_streamed,
+            "wal records": self.wal_records,
+            "ticks": self.ticks,
+            "recall(incumbent)": round(self.incumbent_recall, 4),
+            "recall(final)": round(self.final_recall, 4),
+            "serving": self.serving_id,
+        }
+
+
+def run_retrain_loop(config: RetrainLoopConfig | None = None) -> RetrainLoopResult:
+    """Run the full drift → retrain → promote/rollback lifecycle once."""
+    from ..train.retrain import RetrainSettings, retrain_snapshot
+
+    config = config or RetrainLoopConfig()
+    directory = Path(config.directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    settings = RetrainSettings(
+        embedding_dim=config.embedding_dim,
+        epochs=config.epochs,
+        seed=config.seed,
+        dataset_name=config.dataset,
+    )
+
+    # -- 1. data: incumbent sees only the retained users ------------------- #
+    dataset = load_benchmark(config.dataset, scale=config.scale, seed=config.seed)
+    cutoff = dataset.num_users - max(
+        1, int(round(dataset.num_users * config.holdout_fraction))
+    )
+    retained = dataset.train[dataset.train[:, 0] < cutoff]
+    held = dataset.train[dataset.train[:, 0] >= cutoff]
+    base_table = RatingTable(
+        users=retained[:, 0],
+        items=retained[:, 1],
+        ratings=np.ones(len(retained)),
+        num_users=cutoff,
+        num_items=dataset.num_items,
+    )
+    eval_positives = dataset.user_positives("test")
+
+    # -- 2. incumbent snapshot + service over a durable WAL ---------------- #
+    incumbent = retrain_snapshot(base_table, settings)
+    log = EventLog.open(directory / "events.wal")
+    service = RecommendationService(incumbent, default_k=config.k)
+    updater = StreamingUpdater(
+        service,
+        log,
+        batch_size=config.chunk_size,
+        # All streamed traffic is from held-out users: the cold-user monitor
+        # is the one designed to catch exactly this audience shift.
+        drift=DriftConfig(cold_user_threshold=0.5, min_events=min(50, config.chunk_size)),
+    )
+    service.set_popularity_provider(live_popularity(incumbent, log))
+    incumbent_recall = offline_recall(incumbent, eval_positives, config.k)
+
+    orchestrator = RetrainOrchestrator(
+        service,
+        retrain_fn=lambda table: retrain_snapshot(table, settings),
+        base_table=base_table,
+        eval_positives=eval_positives,
+        updater=updater,
+        config=RetrainConfig(
+            directory=directory,
+            k=config.k,
+            min_recall_ratio=config.min_recall_ratio,
+            use_worker=config.use_worker,
+        ),
+    )
+
+    # -- 3./4. stream events; one orchestrator tick per micro-batch -------- #
+    rng = np.random.default_rng(config.seed)
+    events = held[rng.permutation(len(held))]
+    if config.max_events is not None:
+        events = events[: config.max_events]
+
+    reports: list[TickReport] = []
+    outcome = None
+    run_id = None
+    for start in range(0, len(events), config.chunk_size):
+        chunk = events[start : start + config.chunk_size]
+        log.extend(
+            chunk[:, 0],
+            chunk[:, 1],
+            timestamps=np.arange(start, start + len(chunk), dtype=np.float64),
+        )
+        updater.apply()
+        report = orchestrator.tick()
+        reports.append(report)
+        if report.outcome is not None:
+            outcome, run_id = report.outcome, report.run_id
+            break
+        if orchestrator.ticks >= config.max_ticks:
+            break
+
+    final_recall = offline_recall(service.snapshot, eval_positives, config.k)
+    log.close()
+    return RetrainLoopResult(
+        outcome=outcome,
+        run_id=run_id,
+        events_streamed=int(log.next_seq),
+        wal_records=int(log.next_seq),
+        ticks=orchestrator.ticks,
+        incumbent_recall=incumbent_recall,
+        final_recall=final_recall,
+        incumbent_id=incumbent.snapshot_id,
+        serving_id=service.snapshot.snapshot_id,
+        reports=tuple(reports),
+    )

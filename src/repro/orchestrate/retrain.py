@@ -1,0 +1,473 @@
+"""Blue/green retrain controller with journaled, resumable stages.
+
+The控制 loop a production recommender needs once drift monitoring exists:
+
+1. **signal** — a :class:`~repro.stream.drift.RefreshSignal` arrives (polled
+   from the updater's monitor or submitted explicitly);
+2. **retrain** — the incumbent snapshot is preserved as the rollback target,
+   the log-patched :class:`~repro.data.interactions.RatingTable` is exported,
+   and a fresh snapshot is trained — optionally in a disposable worker
+   process — and *atomically* published as the candidate;
+3. **evaluate** — candidate and incumbent are scored offline (recall@K on a
+   held-out positives set); promotion is gated on
+   ``candidate >= min_recall_ratio × incumbent``;
+4. **promote** — the candidate is loaded with ``verify=True`` (manifest
+   checked bit-for-bit) and hot-swapped into the live service;
+5. **watch** — post-swap live evaluation plus the service's circuit breaker;
+   a recall regression or a breaker trip rolls the incumbent back in within
+   the same control-loop tick.
+
+Every stage transition is journaled to an atomically-published JSON state
+file *before* the orchestrator moves on, and every stage checks the journal
+before doing work — so a controller killed at any instruction resumes from
+its journal on restart and never reruns a completed stage (in particular,
+never retrains twice for one signal).  All side-effectful steps are wrapped
+in :func:`repro.reliability.retry`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..eval.metrics import recall_at_k
+from ..reliability.atomicio import atomic_write_bytes
+from ..reliability.faults import fault_point
+from ..reliability.retry import RetryPolicy, retry
+from ..serve.retrieval import PAD_INDEX, ExactIndex, Retriever
+from ..serve.snapshot import EmbeddingSnapshot, load_snapshot, save_snapshot
+from ..stream.drift import RefreshSignal
+
+__all__ = [
+    "OrchestratorError",
+    "OrchestratorJournal",
+    "RetrainConfig",
+    "RetrainOrchestrator",
+    "TickReport",
+    "offline_recall",
+]
+
+#: Stage names in execution order (journal keys).
+STAGES = ("retrain", "evaluate", "promote", "watch")
+
+
+class OrchestratorError(RuntimeError):
+    """A lifecycle stage failed beyond what retries could absorb."""
+
+
+def offline_recall(
+    snapshot: EmbeddingSnapshot, positives: dict[int, np.ndarray], k: int
+) -> float:
+    """Mean recall@k of ``snapshot`` over users with held-out positives.
+
+    Scores through the same masked exact-retrieval kernel the serving layer
+    uses, so gate-time numbers and serve-time behaviour cannot diverge.  Users
+    outside the snapshot's table (or with empty positives) are skipped.
+    """
+    users = [
+        int(user)
+        for user, items in positives.items()
+        if len(items) and 0 <= int(user) < snapshot.num_users
+    ]
+    if not users:
+        return 0.0
+    retriever = Retriever(snapshot, ExactIndex(snapshot.item_embeddings), mask_train=True)
+    indices, _ = retriever.topk_for_users(np.asarray(users, dtype=np.int64), k)
+    return float(
+        np.mean(
+            [
+                recall_at_k(indices[row][indices[row] != PAD_INDEX], positives[user], k)
+                for row, user in enumerate(users)
+            ]
+        )
+    )
+
+
+class OrchestratorJournal:
+    """Crash-safe JSON state file recording one retrain run's progress.
+
+    Writes go through :func:`repro.reliability.atomic_write_bytes`, so the
+    journal on disk is always a complete, parseable document describing the
+    last *committed* stage — the property the resume logic relies on.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> dict | None:
+        try:
+            return json.loads(self.path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError) as error:
+            raise OrchestratorError(
+                f"orchestrator journal {self.path} is unreadable ({error}); "
+                "move it aside to start fresh — refusing to guess lifecycle state"
+            ) from error
+
+    def write(self, state: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(
+            self.path, json.dumps(state, indent=2).encode(), "orchestrator.journal"
+        )
+
+    def clear(self) -> None:
+        self.path.unlink(missing_ok=True)
+
+
+@dataclass(frozen=True)
+class RetrainConfig:
+    """Knobs of the blue/green control loop.
+
+    ``min_recall_ratio`` gates promotion (candidate offline recall vs the
+    incumbent's); ``rollback_tolerance`` gates survival after the swap (live
+    recall vs the candidate's own gate-time recall — a post-swap drop below
+    this fraction means the offline gate was fooled, so roll back).
+    """
+
+    directory: Path | str = "orchestrator"
+    k: int = 20
+    min_recall_ratio: float = 0.95
+    rollback_tolerance: float = 0.8
+    verify_snapshots: bool = True
+    use_worker: bool = False
+    worker_timeout: float = 900.0
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.5)
+    )
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.min_recall_ratio < 0:
+            raise ValueError("min_recall_ratio must be non-negative")
+        if not 0.0 <= self.rollback_tolerance <= 1.0:
+            raise ValueError("rollback_tolerance must be in [0, 1]")
+        if self.worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
+
+
+@dataclass(frozen=True)
+class TickReport:
+    """What one :meth:`RetrainOrchestrator.tick` call did."""
+
+    run_id: str | None
+    outcome: str | None  # "promoted" | "rejected" | "rolled_back" | None (idle/in-flight)
+    actions: tuple[str, ...]
+
+    @property
+    def idle(self) -> bool:
+        return self.run_id is None
+
+
+def _worker_entry(retrain_fn, table, path) -> None:
+    """Child-process body: train and atomically publish the candidate."""
+    snapshot = retrain_fn(table)
+    save_snapshot(snapshot, path)
+
+
+class RetrainOrchestrator:
+    """Consume refresh signals; retrain, gate, hot-swap and auto-rollback.
+
+    Parameters
+    ----------
+    service:
+        The live :class:`~repro.serve.service.RecommendationService` whose
+        snapshot this controller manages.
+    retrain_fn:
+        ``callable(RatingTable) -> EmbeddingSnapshot`` — the expensive step.
+        Use :func:`repro.train.retrain_snapshot` (or a ``functools.partial``
+        of it) for the standard pipeline.
+    base_table:
+        The rating table the *incumbent* snapshot was trained from; exported
+        events are appended to it for each retrain.
+    eval_positives:
+        ``{user: positive item array}`` held-out interactions used for both
+        the offline promotion gate and the post-swap watch.
+    updater:
+        Optional :class:`~repro.stream.updater.StreamingUpdater`.  When given,
+        its drift monitor is polled for signals each tick, its applied events
+        are merged into the training table, and its monitor is reset after
+        each completed run.  Without it, signals must be handed to
+        :meth:`submit` and ``base_table`` is used as-is.
+    evaluate_fn / live_eval_fn:
+        Injection points for the offline gate (``(snapshot, positives, k) ->
+        float``) and the post-swap live check (``(service) -> float``).
+        Defaults use :func:`offline_recall`.  Tests inject regressions here;
+        operators can wire in a true online metric.
+    """
+
+    def __init__(
+        self,
+        service,
+        retrain_fn: Callable,
+        base_table,
+        eval_positives: dict[int, np.ndarray],
+        updater=None,
+        config: RetrainConfig | None = None,
+        evaluate_fn: Callable | None = None,
+        live_eval_fn: Callable | None = None,
+    ) -> None:
+        self.service = service
+        self.retrain_fn = retrain_fn
+        self.base_table = base_table
+        self.eval_positives = eval_positives
+        self.updater = updater
+        self.config = config or RetrainConfig()
+        self.directory = Path(self.config.directory)
+        self.journal = OrchestratorJournal(self.directory / "orchestrator.json")
+        self._evaluate_fn = evaluate_fn or offline_recall
+        self._live_eval_fn = live_eval_fn or (
+            lambda svc: self._evaluate_fn(svc.snapshot, self.eval_positives, self.config.k)
+        )
+        self._pending_signals: list[RefreshSignal] = []
+        self.ticks = 0
+
+    # ------------------------------------------------------------------ #
+    # Signal intake
+    # ------------------------------------------------------------------ #
+    def submit(self, signal: RefreshSignal) -> None:
+        """Queue a refresh signal for the next tick (alternative to polling)."""
+        self._pending_signals.append(signal)
+
+    def _poll_signal(self) -> RefreshSignal | None:
+        if self._pending_signals:
+            return self._pending_signals.pop(0)
+        if self.updater is not None:
+            return self.updater.monitor.check()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Retry plumbing
+    # ------------------------------------------------------------------ #
+    def _retry(self, fn, *args, **kwargs):
+        return retry(fn, *args, policy=self.config.retry, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # The control loop
+    # ------------------------------------------------------------------ #
+    def tick(self) -> TickReport:
+        """Advance the lifecycle by one control-loop iteration.
+
+        Starts a run if a signal is pending (or resumes the journaled run a
+        previous — possibly killed — controller left behind), then drives it
+        through every remaining stage to a terminal outcome.  Promote and
+        watch happen in the same tick, so a post-swap regression is rolled
+        back before this method returns.
+        """
+        self.ticks += 1
+        actions: list[str] = []
+        run = self.journal.load()
+        if run is not None and run.get("outcome") is None:
+            actions.append(f"resumed {run['run_id']}")
+        else:
+            signal = self._poll_signal()
+            if signal is None:
+                return TickReport(run_id=None, outcome=None, actions=("idle",))
+            run = self._start_run(signal)
+            actions.append(f"started {run['run_id']}")
+        try:
+            self._stage_retrain(run, actions)
+            self._stage_evaluate(run, actions)
+            if run["stages"]["evaluate"]["promote"]:
+                self._stage_promote(run, actions)
+                self._stage_watch(run, actions)
+            else:
+                self._finish(run, "rejected", actions)
+        except Exception as error:
+            # The journal already records every committed stage; surface the
+            # failure but leave the run resumable by the next tick/controller.
+            raise OrchestratorError(
+                f"run {run['run_id']} failed mid-flight (progress journaled, "
+                f"next tick resumes): {error}"
+            ) from error
+        return TickReport(
+            run_id=run["run_id"], outcome=run.get("outcome"), actions=tuple(actions)
+        )
+
+    def run_forever(
+        self, poll_interval: float = 5.0, max_ticks: int | None = None
+    ) -> list[TickReport]:
+        """Tick until interrupted (or ``max_ticks``); returns all reports."""
+        reports: list[TickReport] = []
+        while max_ticks is None or self.ticks < max_ticks:
+            reports.append(self.tick())
+            if reports[-1].idle and poll_interval > 0:
+                time.sleep(poll_interval)
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # Stages (each journals its completion; each skips itself on resume)
+    # ------------------------------------------------------------------ #
+    def _start_run(self, signal: RefreshSignal) -> dict:
+        incumbent = self.service.snapshot
+        run_id = f"run-seq{signal.as_of_seq}-{incumbent.snapshot_id}"
+        incumbent_path = self.directory / f"incumbent-{run_id}.npz"
+        # Preserve the rollback target *before* anything else can go wrong.
+        self._retry(save_snapshot, incumbent, incumbent_path)
+        run = {
+            "run_id": run_id,
+            "started_at": time.time(),
+            "signal": {
+                "reasons": list(signal.reasons),
+                "as_of_seq": int(signal.as_of_seq),
+                "metrics": signal.metrics.as_dict(),
+            },
+            "incumbent_path": str(incumbent_path),
+            "incumbent_id": incumbent.snapshot_id,
+            "stages": {name: {"done": False} for name in STAGES},
+            "outcome": None,
+        }
+        self.journal.write(run)
+        return run
+
+    def _commit_stage(self, run: dict, stage: str, **fields) -> None:
+        run["stages"][stage] = {"done": True, **fields}
+        fault_point(f"orchestrator.commit.{stage}")
+        self.journal.write(run)
+
+    def _candidate_path(self, run: dict) -> Path:
+        return self.directory / f"candidate-{run['run_id']}.npz"
+
+    def _stage_retrain(self, run: dict, actions: list[str]) -> None:
+        stage = run["stages"]["retrain"]
+        if stage.get("done"):
+            return
+        fault_point("orchestrator.retrain")
+        table = self.base_table
+        exported_through = None
+        if self.updater is not None:
+            table = self._retry(self.updater.export_training_table, self.base_table)
+            exported_through = int(self.updater.applied_seq)
+        candidate_path = self._candidate_path(run)
+        if self.config.use_worker:
+            self._retry(self._retrain_in_worker, table, candidate_path)
+        else:
+            self._retry(
+                lambda: save_snapshot(self.retrain_fn(table), candidate_path)
+            )
+        actions.append("retrained")
+        self._commit_stage(
+            run,
+            "retrain",
+            candidate_path=str(candidate_path),
+            exported_through=exported_through,
+        )
+
+    def _retrain_in_worker(self, table, candidate_path: Path) -> None:
+        """Run the retrain in a disposable fork so a crash or OOM in training
+        can never take the controller (or the serving process) down with it."""
+        context = multiprocessing.get_context("fork")
+        worker = context.Process(
+            target=_worker_entry, args=(self.retrain_fn, table, candidate_path)
+        )
+        worker.start()
+        worker.join(self.config.worker_timeout)
+        if worker.is_alive():
+            worker.terminate()
+            worker.join()
+            raise OrchestratorError(
+                f"retrain worker exceeded {self.config.worker_timeout}s and was killed"
+            )
+        if worker.exitcode != 0:
+            raise OrchestratorError(f"retrain worker died with exit code {worker.exitcode}")
+        if not candidate_path.exists():
+            raise OrchestratorError("retrain worker exited cleanly but published no candidate")
+
+    def _load(self, path: str | Path) -> EmbeddingSnapshot:
+        return self._retry(load_snapshot, path, verify=self.config.verify_snapshots)
+
+    def _stage_evaluate(self, run: dict, actions: list[str]) -> None:
+        stage = run["stages"]["evaluate"]
+        if stage.get("done"):
+            return
+        fault_point("orchestrator.evaluate")
+        candidate = self._load(run["stages"]["retrain"]["candidate_path"])
+        incumbent = self._load(run["incumbent_path"])
+        candidate_recall = float(
+            self._evaluate_fn(candidate, self.eval_positives, self.config.k)
+        )
+        incumbent_recall = float(
+            self._evaluate_fn(incumbent, self.eval_positives, self.config.k)
+        )
+        promote = candidate_recall >= self.config.min_recall_ratio * incumbent_recall
+        actions.append(
+            f"evaluated candidate={candidate_recall:.4f} incumbent={incumbent_recall:.4f} "
+            f"-> {'promote' if promote else 'reject'}"
+        )
+        self._commit_stage(
+            run,
+            "evaluate",
+            candidate_recall=candidate_recall,
+            incumbent_recall=incumbent_recall,
+            promote=bool(promote),
+        )
+
+    def _stage_promote(self, run: dict, actions: list[str]) -> None:
+        stage = run["stages"]["promote"]
+        if stage.get("done"):
+            # Resume path: make sure the service really is serving the
+            # candidate (a fresh controller starts with the incumbent).
+            if self.service.snapshot.snapshot_id != run["candidate_id"]:
+                candidate = self._load(run["stages"]["retrain"]["candidate_path"])
+                self._retry(self.service.swap_snapshot, candidate)
+                actions.append("re-applied journaled promotion")
+            return
+        fault_point("orchestrator.promote")
+        candidate = self._load(run["stages"]["retrain"]["candidate_path"])
+        run["candidate_id"] = candidate.snapshot_id
+        self._retry(self.service.swap_snapshot, candidate)
+        actions.append(f"promoted {candidate.snapshot_id}")
+        self._commit_stage(
+            run, "promote", breaker_open_count=int(self.service.breaker.open_count)
+        )
+
+    def _stage_watch(self, run: dict, actions: list[str]) -> None:
+        stage = run["stages"]["watch"]
+        if stage.get("done"):
+            return
+        fault_point("orchestrator.watch")
+        live_recall = float(self._retry(self._live_eval_fn, self.service))
+        gate_recall = run["stages"]["evaluate"]["candidate_recall"]
+        breaker_tripped = (
+            self.service.breaker.open_count
+            > run["stages"]["promote"]["breaker_open_count"]
+            or self.service.breaker.state == self.service.breaker.OPEN
+        )
+        regressed = live_recall < self.config.rollback_tolerance * gate_recall
+        if regressed or breaker_tripped:
+            reason = "breaker_trip" if breaker_tripped else "eval_regression"
+            incumbent = self._load(run["incumbent_path"])
+            self._retry(self.service.swap_snapshot, incumbent)
+            actions.append(
+                f"rolled back to {incumbent.snapshot_id} ({reason}, "
+                f"live={live_recall:.4f} vs gate={gate_recall:.4f})"
+            )
+            self._commit_stage(
+                run, "watch", live_recall=live_recall, rolled_back=True, reason=reason
+            )
+            self._finish(run, "rolled_back", actions)
+        else:
+            actions.append(f"watch passed (live={live_recall:.4f})")
+            self._commit_stage(
+                run, "watch", live_recall=live_recall, rolled_back=False
+            )
+            self._finish(run, "promoted", actions)
+
+    def _finish(self, run: dict, outcome: str, actions: list[str]) -> None:
+        run["outcome"] = outcome
+        run["finished_at"] = time.time()
+        self.journal.write(run)
+        actions.append(f"outcome={outcome}")
+        if self.updater is not None:
+            # The run consumed the drift evidence whatever the outcome: a
+            # promotion makes it stale, a rejection/rollback keeps the
+            # incumbent — fresh evidence must accumulate before the next
+            # attempt instead of re-triggering every tick on the same window.
+            self.updater.monitor.mark_refreshed(self.service.snapshot.num_users)

@@ -1,0 +1,52 @@
+"""Fault-tolerance primitives shared by the serving and lifecycle layers.
+
+Production serving is mostly a story about what happens when something fails
+half-way: a retrain worker dies, a disk write is interrupted, an index lookup
+starts throwing.  This package collects the three primitives the rest of the
+system builds on:
+
+* :mod:`repro.reliability.retry` — bounded retries with exponential backoff,
+  deterministic seeded jitter and an optional overall deadline.
+* :mod:`repro.reliability.breaker` — a closed/open/half-open
+  :class:`CircuitBreaker` over a sliding failure-rate window, used by
+  :class:`repro.serve.RecommendationService` to degrade to the popularity
+  fallback instead of erroring when retrieval starts failing.
+* :mod:`repro.reliability.faults` — a deterministic, env-gated
+  :class:`FaultInjector` that makes instrumented filesystem/compute calls
+  raise (or die mid-write) on demand.  The chaos tests use it to prove the
+  WAL, the snapshot publish path and the orchestrator survive a kill at any
+  instrumented instruction.
+"""
+
+from .atomicio import atomic_write_bytes, fsync_directory
+from .breaker import BreakerOpenError, CircuitBreaker
+from .faults import (
+    FaultError,
+    FaultInjector,
+    active_injector,
+    deactivate,
+    fault_point,
+    faults_allowed,
+    faulty_write,
+    inject_faults,
+)
+from .retry import RetryError, RetryPolicy, retry, retryable
+
+__all__ = [
+    "atomic_write_bytes",
+    "fsync_directory",
+    "RetryError",
+    "RetryPolicy",
+    "retry",
+    "retryable",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "FaultError",
+    "FaultInjector",
+    "fault_point",
+    "faulty_write",
+    "inject_faults",
+    "active_injector",
+    "deactivate",
+    "faults_allowed",
+]

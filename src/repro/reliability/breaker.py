@@ -1,0 +1,188 @@
+"""Circuit breaker: stop hammering a failing dependency, probe for recovery.
+
+The classic three-state machine over a sliding outcome window:
+
+* **closed** — calls flow through; outcomes are recorded in a fixed-size
+  window.  When the window holds at least ``min_calls`` outcomes and the
+  failure rate reaches ``failure_threshold``, the breaker **opens**.
+* **open** — calls are refused (:class:`BreakerOpenError`) without touching
+  the dependency, until ``reset_timeout`` seconds have passed.
+* **half-open** — after the timeout, up to ``half_open_max_calls`` probe
+  calls are let through.  Any probe failure re-opens the breaker (and
+  restarts the timeout); ``half_open_successes`` consecutive successes close
+  it and clear the window.
+
+The clock is injectable so tests (and deterministic replays) never sleep.
+All transitions are lock-protected; the breaker is safe to share between the
+serving threads that already share a :class:`~repro.serve.RecommendationService`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["BreakerOpenError", "CircuitBreaker"]
+
+
+class BreakerOpenError(RuntimeError):
+    """Raised by :meth:`CircuitBreaker.call` while the breaker refuses traffic."""
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker with closed/open/half-open states.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Failure fraction of the window at which the breaker opens.
+    window:
+        Number of most-recent outcomes considered.
+    min_calls:
+        Outcomes required in the window before the rate is trusted (a single
+        failure out of one call must not open the breaker).
+    reset_timeout:
+        Seconds the breaker stays open before allowing half-open probes.
+    half_open_successes:
+        Consecutive probe successes required to close again.
+    half_open_max_calls:
+        Concurrent/pending probes allowed while half-open.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 20,
+        min_calls: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_successes: int = 2,
+        half_open_max_calls: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if window < 1 or min_calls < 1 or min_calls > window:
+            raise ValueError("require 1 <= min_calls <= window")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be non-negative")
+        if half_open_successes < 1 or half_open_max_calls < 1:
+            raise ValueError("half-open parameters must be positive")
+        self.failure_threshold = failure_threshold
+        self.min_calls = min_calls
+        self.reset_timeout = reset_timeout
+        self.half_open_successes = half_open_successes
+        self.half_open_max_calls = half_open_max_calls
+        self._clock = clock
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        self._half_open_streak = 0
+        self._lock = threading.Lock()
+        #: Cumulative transition counter, exposed for operational stats.
+        self.open_count = 0
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._current_state()
+
+    def _current_state(self) -> str:
+        if self._state == self.OPEN and self._clock() - self._opened_at >= self.reset_timeout:
+            self._state = self.HALF_OPEN
+            self._half_open_inflight = 0
+            self._half_open_streak = 0
+        return self._state
+
+    def failure_rate(self) -> float:
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    # ------------------------------------------------------------------ #
+    # Gate + outcome recording
+    # ------------------------------------------------------------------ #
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (reserves a half-open probe)."""
+        with self._lock:
+            state = self._current_state()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and self._half_open_inflight < self.half_open_max_calls:
+                self._half_open_inflight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            state = self._current_state()
+            if state == self.HALF_OPEN:
+                self._half_open_inflight = max(0, self._half_open_inflight - 1)
+                self._half_open_streak += 1
+                if self._half_open_streak >= self.half_open_successes:
+                    self._state = self.CLOSED
+                    self._outcomes.clear()
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._current_state()
+            if state == self.HALF_OPEN:
+                # A failed probe: straight back to open, timeout restarts.
+                self._trip()
+                return
+            self._outcomes.append(False)
+            if len(self._outcomes) >= self.min_calls:
+                failures = sum(1 for ok in self._outcomes if not ok)
+                if failures / len(self._outcomes) >= self.failure_threshold:
+                    self._trip()
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._half_open_inflight = 0
+        self._half_open_streak = 0
+        self.open_count += 1
+
+    def trip(self) -> None:
+        """Force the breaker open (used by operators and the chaos tests)."""
+        with self._lock:
+            self._trip()
+
+    def reset(self) -> None:
+        """Force the breaker closed and clear the window."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._outcomes.clear()
+            self._half_open_inflight = 0
+            self._half_open_streak = 0
+
+    # ------------------------------------------------------------------ #
+    # Convenience wrapper
+    # ------------------------------------------------------------------ #
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn`` under the breaker: gate, then record the outcome."""
+        if not self.allow():
+            raise BreakerOpenError(
+                f"circuit breaker is {self.state} (failure rate {self.failure_rate():.0%})"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

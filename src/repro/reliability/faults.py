@@ -1,0 +1,227 @@
+"""Deterministic fault injection for chaos testing.
+
+Durability claims ("the WAL never loses a committed record", "a crash can
+never publish a torn snapshot") are only as good as the worst instruction a
+process can die at.  This module lets the chaos tests *be* that worst
+instruction: production code marks its dangerous moments with
+:func:`fault_point` / :func:`faulty_write`, and a test arms a
+:class:`FaultInjector` to make a specific occurrence of a specific site raise
+— or write only a prefix of its payload before raising, the userspace
+equivalent of SIGKILL mid-``write(2)``.
+
+Two layers of gating keep this inert in production:
+
+* the module-level injector is ``None`` unless a test installs one via
+  :func:`inject_faults` (a context manager), making every instrumented call a
+  single ``is None`` check;
+* installing an injector at all requires the ``REPRO_FAULTS`` environment
+  variable to be truthy, so even importable test helpers cannot accidentally
+  arm faults in a real process.
+
+Firing is deterministic: either an exact 1-based call index (``at=``) or a
+seeded Bernoulli draw per call (``probability=``), so a failing chaos test
+replays identically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FaultError",
+    "FaultInjector",
+    "fault_point",
+    "faulty_write",
+    "inject_faults",
+    "active_injector",
+    "deactivate",
+    "faults_allowed",
+]
+
+#: Environment variable gating fault injection (chaos-test opt-in).
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+class FaultError(RuntimeError):
+    """The injected failure; carries the site and call index that fired."""
+
+    def __init__(self, site: str, call_index: int, mode: str) -> None:
+        super().__init__(f"injected fault at {site!r} (call #{call_index}, mode={mode})")
+        self.site = site
+        self.call_index = call_index
+        self.mode = mode
+
+
+@dataclass
+class _Plan:
+    """One armed fault: where, when and how to fail."""
+
+    site: str
+    at: int | None = 1
+    times: int = 1
+    probability: float | None = None
+    mode: str = "raise"
+    partial_fraction: float = 0.5
+    calls: int = 0
+    fired: int = 0
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def should_fire(self) -> bool:
+        self.calls += 1
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.probability is not None:
+            fire = bool(self.rng.random() < self.probability)
+        else:
+            fire = self.calls == (self.at or 1)
+        if fire:
+            self.fired += 1
+        return fire
+
+
+class FaultInjector:
+    """Registry of armed fault sites with deterministic firing.
+
+    ``arm(site, at=2)`` makes the second :func:`fault_point`/`faulty_write`
+    call at ``site`` fail; ``arm(site, probability=0.2, seed=7)`` fires a
+    seeded 20% of calls.  ``mode="torn"`` only affects :func:`faulty_write`
+    sites: a prefix of the payload is written before the error, simulating
+    process death mid-write.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._plans: dict[str, _Plan] = {}
+        self._lock = threading.Lock()
+        self._history: list[tuple[str, int, str]] = []
+
+    def arm(
+        self,
+        site: str,
+        at: int | None = 1,
+        times: int | None = 1,
+        probability: float | None = None,
+        mode: str = "raise",
+        partial_fraction: float = 0.5,
+    ) -> "FaultInjector":
+        if mode not in {"raise", "torn"}:
+            raise ValueError("mode must be 'raise' or 'torn'")
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if not 0.0 <= partial_fraction < 1.0:
+            raise ValueError("partial_fraction must be in [0, 1)")
+        with self._lock:
+            self._plans[site] = _Plan(
+                site=site,
+                at=at,
+                times=times,
+                probability=probability,
+                mode=mode,
+                partial_fraction=partial_fraction,
+                rng=np.random.default_rng(self.seed + len(self._plans)),
+            )
+        return self
+
+    def disarm(self, site: str) -> None:
+        with self._lock:
+            self._plans.pop(site, None)
+
+    def check(self, site: str) -> _Plan | None:
+        """Count one call at ``site``; return the plan if it fires."""
+        with self._lock:
+            plan = self._plans.get(site)
+            if plan is None or not plan.should_fire():
+                return None
+            self._history.append((site, plan.calls, plan.mode))
+            return plan
+
+    def calls(self, site: str) -> int:
+        with self._lock:
+            plan = self._plans.get(site)
+            return 0 if plan is None else plan.calls
+
+    @property
+    def history(self) -> list[tuple[str, int, str]]:
+        """Every fired fault as ``(site, call_index, mode)``, in order."""
+        with self._lock:
+            return list(self._history)
+
+
+# --------------------------------------------------------------------------- #
+# Module-level activation (the hook production call sites consult)
+# --------------------------------------------------------------------------- #
+_ACTIVE: FaultInjector | None = None
+
+
+def faults_allowed() -> bool:
+    """True when the ``REPRO_FAULTS`` env var opts this process into chaos."""
+    return os.environ.get(FAULTS_ENV, "") not in {"", "0", "false", "False"}
+
+
+def active_injector() -> FaultInjector | None:
+    return _ACTIVE
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def inject_faults(injector: FaultInjector):
+    """Install ``injector`` as the process-wide fault source for a scope.
+
+    Refuses to run unless :func:`faults_allowed` — chaos must be an explicit,
+    environment-level decision, never a side effect of importing a test
+    helper in a serving process.
+    """
+    global _ACTIVE
+    if not faults_allowed():
+        raise RuntimeError(
+            f"fault injection requires the {FAULTS_ENV} environment variable to be set"
+        )
+    if _ACTIVE is not None:
+        raise RuntimeError("a fault injector is already active")
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = None
+
+
+def fault_point(site: str) -> None:
+    """Raise :class:`FaultError` if an active injector armed this site.
+
+    A no-op (one ``is None`` check) in normal operation; sprinkle liberally
+    on the instructions a crash would hurt most.
+    """
+    if _ACTIVE is None:
+        return
+    plan = _ACTIVE.check(site)
+    if plan is not None:
+        raise FaultError(site, plan.calls, plan.mode)
+
+
+def faulty_write(stream, data: bytes, site: str) -> int:
+    """``stream.write(data)`` that an armed injector can interrupt mid-write.
+
+    With a ``mode="torn"`` fault armed, a prefix of ``data`` (per the plan's
+    ``partial_fraction``) is written and flushed before :class:`FaultError`
+    is raised — from the file's point of view, exactly what a SIGKILL between
+    two ``write(2)`` calls leaves behind.  ``mode="raise"`` fails before any
+    byte is written.  Returns the number of bytes written.
+    """
+    if _ACTIVE is not None:
+        plan = _ACTIVE.check(site)
+        if plan is not None:
+            if plan.mode == "torn" and data:
+                cut = int(len(data) * plan.partial_fraction)
+                stream.write(data[:cut])
+                stream.flush()
+            raise FaultError(site, plan.calls, plan.mode)
+    return stream.write(data)

@@ -1,0 +1,144 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+Every lifecycle step that touches the outside world (disk, worker processes,
+index rebuilds) is wrapped in :func:`retry` so a transient failure costs a
+delay, not a dead orchestrator.  Two properties matter for this codebase:
+
+* **determinism** — jitter comes from a seeded ``numpy`` generator, so tests
+  (and replays of an orchestrator journal) see identical delay sequences;
+* **injectable time** — ``sleep`` and ``clock`` are parameters, so tests run
+  the full backoff schedule in microseconds and the deadline logic is
+  testable without wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import wraps
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["RetryError", "RetryPolicy", "retry", "retryable"]
+
+
+class RetryError(RuntimeError):
+    """Raised when every attempt failed (or the deadline expired).
+
+    ``last_error`` carries the exception of the final attempt; ``attempts``
+    says how many were actually made (the deadline can cut the schedule
+    short).
+    """
+
+    def __init__(self, message: str, last_error: BaseException, attempts: int) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule: ``base_delay * multiplier**n`` capped at ``max_delay``.
+
+    ``jitter`` adds a uniform ``[0, jitter * delay]`` fraction on top of each
+    delay (full determinism comes from ``seed``); ``timeout`` is an overall
+    deadline across attempts measured with ``clock`` — when the *next* sleep
+    would overshoot it, the last error is re-raised as :class:`RetryError`
+    immediately instead of sleeping past the budget.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+    timeout: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delays(self) -> list[float]:
+        """The full jittered backoff schedule (``attempts - 1`` sleeps)."""
+        rng = np.random.default_rng(self.seed)
+        out: list[float] = []
+        for n in range(self.attempts - 1):
+            delay = min(self.base_delay * self.multiplier**n, self.max_delay)
+            out.append(delay * (1.0 + self.jitter * float(rng.random())))
+        return out
+
+
+def retry(
+    fn: Callable,
+    *args,
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    on_retry: Callable[[int, BaseException], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    **kwargs,
+):
+    """Call ``fn(*args, **kwargs)``, retrying failures per ``policy``.
+
+    Only exceptions matching ``retry_on`` are retried; anything else (and
+    ``BaseException``\\ s like ``KeyboardInterrupt``) propagates immediately.
+    ``on_retry(attempt_index, error)`` is invoked before each backoff sleep —
+    the orchestrator uses it to journal transient failures.
+    """
+    policy = policy or RetryPolicy()
+    delays = policy.delays()
+    deadline = None if policy.timeout is None else clock() + policy.timeout
+    last_error: BaseException | None = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn(*args, **kwargs)
+        except retry_on as error:  # noqa: PERF203 - retry loop by design
+            last_error = error
+            if attempt == policy.attempts - 1:
+                break
+            delay = delays[attempt]
+            if deadline is not None and clock() + delay > deadline:
+                raise RetryError(
+                    f"{_name(fn)} failed after {attempt + 1} attempts "
+                    f"(deadline of {policy.timeout}s would be exceeded): {error}",
+                    last_error=error,
+                    attempts=attempt + 1,
+                ) from error
+            if on_retry is not None:
+                on_retry(attempt, error)
+            sleep(delay)
+    assert last_error is not None
+    raise RetryError(
+        f"{_name(fn)} failed after {policy.attempts} attempts: {last_error}",
+        last_error=last_error,
+        attempts=policy.attempts,
+    ) from last_error
+
+
+def retryable(
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Decorator form of :func:`retry` with a fixed policy."""
+
+    def decorate(fn: Callable) -> Callable:
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            return retry(fn, *args, policy=policy, retry_on=retry_on, sleep=sleep, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def _name(fn: Callable) -> str:
+    return getattr(fn, "__qualname__", None) or getattr(fn, "__name__", repr(fn))

@@ -59,16 +59,20 @@ from .service import LRUCache, PendingRecommendation, Recommendation, Recommenda
 from .snapshot import (
     SNAPSHOT_FORMAT_VERSION,
     EmbeddingSnapshot,
+    SnapshotIntegrityError,
     build_delta_snapshot,
     build_snapshot,
     create_snapshot,
     load_snapshot,
+    manifest_path,
     save_snapshot,
 )
 
 __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotIntegrityError",
     "EmbeddingSnapshot",
+    "manifest_path",
     "build_snapshot",
     "build_delta_snapshot",
     "create_snapshot",

@@ -12,7 +12,13 @@ process needs on top of raw retrieval:
   is swapped in;
 * **cold-start fallback** — user ids unknown to the snapshot (or, optionally,
   users with no training history) receive the global popularity ranking
-  instead of garbage embeddings.
+  instead of garbage embeddings;
+* **graceful degradation** — retrieval failures (a corrupt index, a poisoned
+  embedding table, an injected chaos fault) are fed to a
+  :class:`~repro.reliability.CircuitBreaker`; affected queries are answered
+  from the popularity ranking instead of erroring, and once the breaker opens
+  the index is not even attempted until its reset timeout elapses.  The
+  service keeps answering through any retrieval-side failure.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..reliability.breaker import CircuitBreaker
 from .retrieval import PAD_INDEX, ExactIndex, Retriever
 from .snapshot import EmbeddingSnapshot
 
@@ -120,6 +127,11 @@ class ServiceStats:
     fallbacks: int = 0
     snapshot_swaps: int = 0
     interactions_recorded: int = 0
+    #: Queries answered from the popularity ranking because retrieval failed
+    #: or the circuit breaker was open (a subset of ``fallbacks``).
+    degraded_queries: int = 0
+    #: Retrieval calls that raised (each one also fed the breaker a failure).
+    retrieval_errors: int = 0
     extra: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -130,6 +142,8 @@ class ServiceStats:
             "fallbacks": self.fallbacks,
             "snapshot_swaps": self.snapshot_swaps,
             "interactions_recorded": self.interactions_recorded,
+            "degraded_queries": self.degraded_queries,
+            "retrieval_errors": self.retrieval_errors,
         }
 
 
@@ -167,6 +181,11 @@ class RecommendationService:
         ``append(user_id, item_id, timestamp=..., weight=...)`` method, e.g.
         :class:`repro.stream.EventLog`) that :meth:`record_interaction` writes
         to; can also be attached later via :meth:`attach_event_log`.
+    breaker:
+        Circuit breaker guarding the retrieval path (``None`` builds a
+        default one).  When retrieval raises, the failing batch — and, while
+        the breaker is open, every subsequent warm query — is served from the
+        popularity ranking instead of propagating the error.
     """
 
     def __init__(
@@ -181,6 +200,7 @@ class RecommendationService:
         cold_start_min_history: int = 1,
         popularity_provider=None,
         event_log=None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if index is not None and index_factory is not None:
             raise ValueError("pass either a pre-built index or an index_factory, not both")
@@ -199,6 +219,7 @@ class RecommendationService:
         self.stats = ServiceStats()
         self._popularity_provider = popularity_provider
         self._event_log = event_log
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._install(snapshot, index)
 
     # ------------------------------------------------------------------ #
@@ -222,6 +243,9 @@ class RecommendationService:
             self.flush()
             self._install(snapshot, index)
             self._cache.clear()
+            # Give the incoming artifacts a clean slate: failures of the old
+            # snapshot/index must not keep refusing traffic to the new one.
+            self.breaker.reset()
             self.stats.snapshot_swaps += 1
 
     @property
@@ -307,7 +331,21 @@ class RecommendationService:
         else:
             # Live provider: re-rank on every fallback so fresh counts take
             # effect immediately (fallbacks are rare; the sort is cheap).
-            popularity = self.popularity()
+            # The fallback is the last line of defence, so a provider that
+            # *fails* degrades to the frozen snapshot counts instead of
+            # erroring — but a provider returning the wrong shape is a caller
+            # bug and keeps raising, exactly like :meth:`popularity`.
+            try:
+                provided = self._popularity_provider()
+            except Exception:
+                popularity = self.snapshot.item_popularity
+            else:
+                popularity = np.asarray(provided)
+                if popularity.shape != (self.snapshot.num_items,):
+                    raise ValueError(
+                        "popularity provider returned shape "
+                        f"{popularity.shape}, expected ({self.snapshot.num_items},)"
+                    )
             order = np.argsort(-popularity.astype(np.float64), kind="stable").astype(np.int64)
         if self.mask_train and 0 <= user_id < self.snapshot.num_users:
             # Cold-but-known users keep the no-seen-items contract.
@@ -356,20 +394,39 @@ class RecommendationService:
                     queued.add(user)
             if warm:
                 batch = np.asarray(warm, dtype=np.int64)
-                indices, scores = self.retriever.topk_for_users(batch, k)
-                self.stats.batches += 1
-                self.stats.batched_queries += len(warm)
-                for row, user in enumerate(warm):
-                    valid = indices[row] != PAD_INDEX
-                    recommendation = Recommendation(
-                        user_id=user,
-                        items=indices[row][valid],
-                        scores=scores[row][valid],
-                        source="model",
-                        snapshot_id=self.snapshot.snapshot_id,
-                    )
-                    results[user] = recommendation
-                    self._cache.put((user, k), recommendation)
+                rows = None
+                if self.breaker.allow():
+                    try:
+                        rows = self.retriever.topk_for_users(batch, k)
+                    except Exception:
+                        # Index or embedding failure: feed the breaker and fall
+                        # through to the degraded path — the service answers
+                        # every query even while retrieval is on fire.
+                        self.breaker.record_failure()
+                        self.stats.retrieval_errors += 1
+                    else:
+                        self.breaker.record_success()
+                if rows is not None:
+                    indices, scores = rows
+                    self.stats.batches += 1
+                    self.stats.batched_queries += len(warm)
+                    for row, user in enumerate(warm):
+                        valid = indices[row] != PAD_INDEX
+                        recommendation = Recommendation(
+                            user_id=user,
+                            items=indices[row][valid],
+                            scores=scores[row][valid],
+                            source="model",
+                            snapshot_id=self.snapshot.snapshot_id,
+                        )
+                        results[user] = recommendation
+                        self._cache.put((user, k), recommendation)
+                else:
+                    # Breaker open or retrieval failed: popularity fallback,
+                    # uncached so recovery serves real results immediately.
+                    self.stats.degraded_queries += len(warm)
+                    for user in warm:
+                        results[user] = self._popularity_fallback(user, k)
             self.stats.queries += len(user_ids)
             return [results[user] for user in user_ids]
 

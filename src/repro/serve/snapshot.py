@@ -13,27 +13,49 @@ See the :mod:`repro.serve` package docstring for the on-disk format.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import time
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from .. import __version__
+from ..reliability.atomicio import atomic_write_bytes
 
 __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotIntegrityError",
     "EmbeddingSnapshot",
     "create_snapshot",
     "build_snapshot",
     "build_delta_snapshot",
     "save_snapshot",
     "load_snapshot",
+    "manifest_path",
 ]
 
 #: Bump when the on-disk layout changes; loaders reject unknown major versions.
 SNAPSHOT_FORMAT_VERSION = 1
+
+#: The arrays persisted in every snapshot archive, in canonical order.
+_ARRAY_FIELDS = (
+    "user_embeddings",
+    "item_embeddings",
+    "train_indptr",
+    "train_indices",
+    "item_popularity",
+)
+
+
+class SnapshotIntegrityError(ValueError):
+    """A snapshot file is corrupt or inconsistent with its own metadata.
+
+    Raised at *load* time — a broken artifact must be rejected before it can
+    reach the serving path, not discovered query-by-query later.
+    """
 
 
 @dataclass
@@ -274,32 +296,151 @@ def create_snapshot(model, model_name: str | None = None, extra_metadata: dict |
     )
 
 
+def manifest_path(path: str | Path) -> Path:
+    """Sidecar manifest location for a snapshot at ``path``."""
+    path = Path(path)
+    return path.with_name(path.name + ".manifest.json")
+
+
+def _array_digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def build_manifest(snapshot: EmbeddingSnapshot) -> dict:
+    """The sidecar manifest contents: per-array sha256 + metadata echo."""
+    return {
+        "manifest_version": 1,
+        "snapshot_id": snapshot.metadata.get("snapshot_id"),
+        "arrays": {
+            name: {
+                "sha256": _array_digest(getattr(snapshot, name)),
+                "shape": list(getattr(snapshot, name).shape),
+                "dtype": str(getattr(snapshot, name).dtype),
+            }
+            for name in _ARRAY_FIELDS
+        },
+        "metadata": snapshot.metadata,
+    }
+
+
 def save_snapshot(snapshot: EmbeddingSnapshot, path: str | Path) -> Path:
-    """Write ``snapshot`` to ``path`` as a compressed ``.npz`` archive."""
+    """Atomically publish ``snapshot`` at ``path`` as a compressed ``.npz``.
+
+    The archive is serialised in memory, written to a temporary file, fsynced
+    and renamed over ``path`` (``os.replace``), so a crash mid-save can never
+    leave a torn archive under the published name — readers see the old
+    snapshot or the new one, nothing in between.  A sidecar manifest
+    (:func:`manifest_path`) with per-array sha256 digests and a metadata echo
+    is published the same way immediately after; :func:`load_snapshot` with
+    ``verify=True`` checks the arrays against it bit-for-bit.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
+    buffer = io.BytesIO()
     np.savez_compressed(
-        path,
-        user_embeddings=snapshot.user_embeddings,
-        item_embeddings=snapshot.item_embeddings,
-        train_indptr=snapshot.train_indptr,
-        train_indices=snapshot.train_indices,
-        item_popularity=snapshot.item_popularity,
+        buffer,
         metadata_json=np.array(json.dumps(snapshot.metadata)),
+        **{name: getattr(snapshot, name) for name in _ARRAY_FIELDS},
     )
+    atomic_write_bytes(path, buffer.getvalue(), "snapshot")
+    manifest = json.dumps(build_manifest(snapshot), indent=2).encode()
+    atomic_write_bytes(manifest_path(path), manifest, "snapshot.manifest")
     return path
 
 
-def load_snapshot(path: str | Path) -> EmbeddingSnapshot:
+def _validate_metadata(path: Path, metadata: dict, arrays: dict) -> None:
+    """Cross-check the metadata's self-description against the actual arrays."""
+    users, items = arrays["user_embeddings"], arrays["item_embeddings"]
+    declared = {
+        "num_users": int(metadata.get("num_users", -1)),
+        "num_items": int(metadata.get("num_items", -1)),
+        "embedding_dim": int(metadata.get("embedding_dim", -1)),
+    }
+    actual = {
+        "num_users": int(users.shape[0]),
+        "num_items": int(items.shape[0]),
+        "embedding_dim": int(users.shape[1]) if users.ndim == 2 else -1,
+    }
+    mismatches = [
+        f"{key}: metadata says {declared[key]}, arrays say {actual[key]}"
+        for key in declared
+        if declared[key] != actual[key]
+    ]
+    if mismatches:
+        raise SnapshotIntegrityError(
+            f"{path}: snapshot metadata disagrees with its arrays "
+            f"({'; '.join(mismatches)}) — the file is corrupt or was tampered with"
+        )
+    expected_id = metadata.get("snapshot_id")
+    if not expected_id:
+        raise SnapshotIntegrityError(f"{path}: snapshot metadata is missing its snapshot_id")
+    actual_id = _content_hash(users, items)
+    if actual_id != expected_id:
+        raise SnapshotIntegrityError(
+            f"{path}: embedding content hash {actual_id} does not match the "
+            f"recorded snapshot_id {expected_id} — the embedding tables are corrupt"
+        )
+
+
+def _verify_manifest(path: Path, metadata: dict, arrays: dict) -> None:
+    """Check every array against the sidecar manifest's sha256 digests."""
+    sidecar = manifest_path(path)
+    try:
+        manifest = json.loads(sidecar.read_text())
+    except FileNotFoundError as error:
+        raise SnapshotIntegrityError(
+            f"{path}: verify=True but the sidecar manifest {sidecar} is missing"
+        ) from error
+    except (json.JSONDecodeError, OSError) as error:
+        raise SnapshotIntegrityError(
+            f"{path}: sidecar manifest {sidecar} is unreadable: {error}"
+        ) from error
+    if manifest.get("snapshot_id") != metadata.get("snapshot_id"):
+        raise SnapshotIntegrityError(
+            f"{path}: manifest describes snapshot {manifest.get('snapshot_id')} "
+            f"but the archive contains {metadata.get('snapshot_id')} — the two "
+            "files are from different publishes"
+        )
+    declared_arrays = manifest.get("arrays", {})
+    for name in _ARRAY_FIELDS:
+        entry = declared_arrays.get(name)
+        if entry is None:
+            raise SnapshotIntegrityError(f"{path}: manifest has no digest for array {name!r}")
+        digest = _array_digest(arrays[name])
+        if digest != entry.get("sha256"):
+            raise SnapshotIntegrityError(
+                f"{path}: array {name!r} sha256 {digest} does not match the "
+                f"manifest ({entry.get('sha256')}) — the array bytes are corrupt"
+            )
+
+
+def load_snapshot(path: str | Path, verify: bool = False) -> EmbeddingSnapshot:
     """Load a snapshot produced by :func:`save_snapshot`.
 
     Depends only on NumPy — no model, trainer or dataset code is imported —
     so a serving process can run from the artifact alone.
+
+    Integrity: the metadata's shape fields are always validated against the
+    actual arrays and the embedding content hash is always recomputed and
+    compared to the recorded ``snapshot_id`` — mismatches raise
+    :class:`SnapshotIntegrityError` here instead of surfacing as garbage at
+    query time.  With ``verify=True``, every array is additionally checked
+    bit-for-bit against the sidecar manifest's sha256 digests (and the
+    manifest must exist and match this publish).
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
+    try:
+        archive_handle = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as error:
+        if isinstance(error, FileNotFoundError):
+            raise
+        raise SnapshotIntegrityError(
+            f"{path} is not a readable snapshot archive ({error}) — it may be "
+            "a torn write from a crashed producer"
+        ) from error
+    with archive_handle as archive:
         try:
             metadata = json.loads(str(archive["metadata_json"]))
         except KeyError as error:
@@ -310,11 +451,13 @@ def load_snapshot(path: str | Path) -> EmbeddingSnapshot:
                 f"snapshot format version {version} is not supported by this "
                 f"build (expected 1..{SNAPSHOT_FORMAT_VERSION})"
             )
-        return EmbeddingSnapshot(
-            user_embeddings=archive["user_embeddings"],
-            item_embeddings=archive["item_embeddings"],
-            train_indptr=archive["train_indptr"],
-            train_indices=archive["train_indices"],
-            item_popularity=archive["item_popularity"],
-            metadata=metadata,
-        )
+        try:
+            arrays = {name: archive[name] for name in _ARRAY_FIELDS}
+        except (KeyError, zipfile.BadZipFile, OSError) as error:
+            raise SnapshotIntegrityError(
+                f"{path}: snapshot archive is incomplete or unreadable ({error})"
+            ) from error
+    _validate_metadata(path, metadata, arrays)
+    if verify:
+        _verify_manifest(path, metadata, arrays)
+    return EmbeddingSnapshot(metadata=metadata, **arrays)

@@ -40,7 +40,7 @@ Quickstart::
 """
 
 from .drift import DriftConfig, DriftMetrics, DriftMonitor, RefreshSignal, popularity_kl
-from .events import EventBatch, EventLog, InteractionEvent
+from .events import EventBatch, EventLog, InteractionEvent, WalCorruptionWarning
 from .foldin import FoldInConfig, FoldInResult, fold_in_user, gradient_fold_in, ridge_fold_in
 from .simulate import StreamSimulationConfig, StreamSimulationResult, simulate_stream
 from .updater import StreamingUpdater, UpdateReport, live_popularity, merge_into_csr
@@ -49,6 +49,7 @@ __all__ = [
     "InteractionEvent",
     "EventBatch",
     "EventLog",
+    "WalCorruptionWarning",
     "FoldInConfig",
     "FoldInResult",
     "ridge_fold_in",

@@ -12,22 +12,60 @@ on :class:`EventBatch` array slices directly.
 Sequence numbers are assigned at append time, never reused, and survive
 compaction, so a consumer can always say "give me everything after seq *s*"
 (:meth:`EventLog.since`) or replay a fixed range (:meth:`EventLog.replay`).
+
+Durability (write-ahead log)
+----------------------------
+
+Constructed with a ``path`` (or via :meth:`EventLog.open`), the log doubles as
+an on-disk write-ahead log.  Every record is framed as::
+
+    [u32 payload length | payload | u32 CRC-32 of payload]
+
+with a fixed 32-byte little-endian payload ``<qqdd`` (user id, item id,
+timestamp, weight).  Appends write the frame(s) before touching the in-memory
+columns and fsync on commit (one fsync per :meth:`extend` batch), so an
+acknowledged event survives process death at any instruction.  Recovery
+(:meth:`EventLog.open` on an existing file) replays the frames into the
+columnar view and truncates the file after the last intact frame: a crash
+mid-write costs at most the one record that was never acknowledged, never a
+committed one.
 """
 
 from __future__ import annotations
 
+import os
+import struct
 import threading
+import warnings
+import zlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
 from ..data.interactions import group_by_key
+from ..reliability.faults import fault_point, faulty_write
 
-__all__ = ["InteractionEvent", "EventBatch", "EventLog"]
+__all__ = ["InteractionEvent", "EventBatch", "EventLog", "WalCorruptionWarning"]
 
 #: Initial capacity of a fresh log's column arrays.
 _INITIAL_CAPACITY = 256
+
+#: WAL frame pieces: u32 payload length, ``<qqdd`` payload, u32 CRC-32.
+_HEADER = struct.Struct("<I")
+_PAYLOAD = struct.Struct("<qqdd")
+_CRC = struct.Struct("<I")
+_FRAME_SIZE = _HEADER.size + _PAYLOAD.size + _CRC.size
+
+
+class WalCorruptionWarning(UserWarning):
+    """Emitted when recovery drops a torn or corrupt tail from a WAL file."""
+
+
+def _frame(user_id: int, item_id: int, timestamp: float, weight: float) -> bytes:
+    payload = _PAYLOAD.pack(int(user_id), int(item_id), float(timestamp), float(weight))
+    return _HEADER.pack(_PAYLOAD.size) + payload + _CRC.pack(zlib.crc32(payload))
 
 
 @dataclass(frozen=True)
@@ -97,16 +135,30 @@ class EventBatch:
 
 
 class EventLog:
-    """Thread-safe append-only interaction log.
+    """Thread-safe append-only interaction log, optionally WAL-backed.
 
     Parameters
     ----------
     capacity:
         Initial column capacity; the log doubles as needed, so this only
         matters for avoiding early reallocations.
+    path:
+        Optional write-ahead-log file.  When given, every append is framed,
+        CRC-protected and fsynced to this file *before* the in-memory columns
+        are updated, and construction replays any records already in the file
+        (truncating a torn tail).  ``None`` keeps the log purely in memory.
+    fsync:
+        Whether to ``fsync`` after each commit (one per :meth:`append` call,
+        one per :meth:`extend` batch).  Disable only for tests/bulk loads
+        where durability against power loss is not required.
     """
 
-    def __init__(self, capacity: int = _INITIAL_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = _INITIAL_CAPACITY,
+        path: str | Path | None = None,
+        fsync: bool = True,
+    ) -> None:
         capacity = max(1, int(capacity))
         self._users = np.empty(capacity, dtype=np.int64)
         self._items = np.empty(capacity, dtype=np.int64)
@@ -114,6 +166,132 @@ class EventLog:
         self._weights = np.empty(capacity, dtype=np.float64)
         self._size = 0
         self._lock = threading.Lock()
+        self._path = None if path is None else Path(path)
+        self._fsync = bool(fsync)
+        self._file = None
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._recover()
+
+    @classmethod
+    def open(
+        cls, path: str | Path, capacity: int = _INITIAL_CAPACITY, fsync: bool = True
+    ) -> "EventLog":
+        """Open (or create) a durable log at ``path``, replaying its records.
+
+        Fully committed records are recovered exactly; a trailing torn record
+        (the signature of a crash mid-write) is dropped and truncated away
+        with a :class:`WalCorruptionWarning`.
+        """
+        return cls(capacity=capacity, path=path, fsync=fsync)
+
+    # ------------------------------------------------------------------ #
+    # WAL plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Path | None:
+        """The backing WAL file (``None`` for a purely in-memory log)."""
+        return self._path
+
+    @property
+    def durable(self) -> bool:
+        return self._file is not None
+
+    def _recover(self) -> None:
+        """Replay the WAL file into the columns; truncate anything torn."""
+        # Touch-create so a fresh path and an existing one share one code path.
+        self._path.touch(exist_ok=True)
+        data = self._path.read_bytes()
+        good_end = 0
+        offset = 0
+        users: list[int] = []
+        items: list[int] = []
+        timestamps: list[float] = []
+        weights: list[float] = []
+        corrupt_reason = None
+        while offset < len(data):
+            if offset + _HEADER.size > len(data):
+                corrupt_reason = "torn frame header"
+                break
+            (length,) = _HEADER.unpack_from(data, offset)
+            if length != _PAYLOAD.size:
+                corrupt_reason = f"invalid frame length {length}"
+                break
+            end = offset + _HEADER.size + length + _CRC.size
+            if end > len(data):
+                corrupt_reason = "torn frame body"
+                break
+            payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
+            (crc,) = _CRC.unpack_from(data, offset + _HEADER.size + length)
+            if crc != zlib.crc32(payload):
+                corrupt_reason = "CRC mismatch"
+                break
+            user, item, timestamp, weight = _PAYLOAD.unpack(payload)
+            users.append(user)
+            items.append(item)
+            timestamps.append(timestamp)
+            weights.append(weight)
+            offset = end
+            good_end = end
+        if users:
+            self._ensure_capacity(len(users))
+            count = len(users)
+            self._users[:count] = users
+            self._items[:count] = items
+            self._timestamps[:count] = timestamps
+            self._weights[:count] = weights
+            self._size = count
+        self._file = open(self._path, "r+b")
+        if good_end < len(data):
+            warnings.warn(
+                f"WAL {self._path} has a corrupt tail ({corrupt_reason}); "
+                f"recovered {self._size} records and truncated "
+                f"{len(data) - good_end} trailing bytes",
+                WalCorruptionWarning,
+                stacklevel=3,
+            )
+            self._file.truncate(good_end)
+            self._file.flush()
+            if self._fsync:
+                os.fsync(self._file.fileno())
+        self._file.seek(good_end)
+
+    def _commit_frames(self, frames: bytes) -> None:
+        """Write framed records and fsync — called under the lock, *before*
+        the in-memory columns change, so an acknowledged event is always on
+        disk and a failed write leaves memory consistent with the durable
+        prefix."""
+        if self._file is None:
+            return
+        fault_point("wal.append")
+        faulty_write(self._file, frames, "wal.write")
+        self._file.flush()
+        if self._fsync:
+            fault_point("wal.fsync")
+            os.fsync(self._file.fileno())
+
+    def sync(self) -> None:
+        """Force an fsync of the WAL file (no-op for in-memory logs)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Close the WAL file handle; the in-memory view stays readable."""
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                if self._fsync:
+                    os.fsync(self._file.fileno())
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -161,6 +339,7 @@ class EventLog:
             raise ValueError("user_id and item_id must be non-negative")
         with self._lock:
             self._ensure_capacity(1)
+            self._commit_frames(_frame(user_id, item_id, timestamp, weight))
             seq = self._size
             self._users[seq] = user_id
             self._items[seq] = item_id
@@ -192,6 +371,15 @@ class EventLog:
             raise ValueError("timestamps and weights must match user_ids in length")
         with self._lock:
             self._ensure_capacity(count)
+            if self._file is not None and count:
+                # One buffer, one write, one fsync: the whole batch commits
+                # together (all-or-at-most-one-torn-record on crash).
+                self._commit_frames(
+                    b"".join(
+                        _frame(user_ids[i], item_ids[i], timestamps[i], weights[i])
+                        for i in range(count)
+                    )
+                )
             start, stop = self._size, self._size + count
             self._users[start:stop] = user_ids
             self._items[start:stop] = item_ids

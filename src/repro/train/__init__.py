@@ -1,7 +1,26 @@
-"""Training loop, configuration and early stopping."""
+"""Training loop, configuration, early stopping and orchestrated retraining."""
 
 from .config import TrainingConfig
 from .early_stopping import EarlyStopping
 from .trainer import Trainer, TrainingHistory, train_recommender
 
-__all__ = ["TrainingConfig", "EarlyStopping", "Trainer", "TrainingHistory", "train_recommender"]
+__all__ = [
+    "TrainingConfig",
+    "EarlyStopping",
+    "Trainer",
+    "TrainingHistory",
+    "train_recommender",
+    "RetrainSettings",
+    "retrain_snapshot",
+    "retrain_to_path",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: ``repro.train.retrain`` pulls in the experiment harness, which a
+    # training-only import (or the serving process) should not pay for.
+    if name in {"RetrainSettings", "retrain_snapshot", "retrain_to_path"}:
+        from . import retrain
+
+        return getattr(retrain, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

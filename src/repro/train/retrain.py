@@ -1,0 +1,102 @@
+"""Offline retraining from a raw rating table — the orchestrator's train step.
+
+The blue/green retrain controller (:mod:`repro.orchestrate.retrain`) hands the
+log-patched :class:`~repro.data.interactions.RatingTable` — base training data
+plus every applied stream event — to :func:`retrain_snapshot`, which runs the
+standard preprocessing pipeline, trains a backbone and exports a fresh *full*
+(non-delta) :class:`~repro.serve.snapshot.EmbeddingSnapshot`.
+
+:func:`retrain_to_path` is the process-boundary variant: a plain top-level
+function (so it pickles under ``multiprocessing``) that trains and atomically
+publishes the snapshot to a path, letting the orchestrator run the expensive
+step in a worker process it can kill or lose without corrupting anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..data.interactions import RatingTable
+from ..data.preprocess import build_dataset
+from ..serve.snapshot import EmbeddingSnapshot, create_snapshot, save_snapshot
+
+__all__ = ["RetrainSettings", "retrain_snapshot", "retrain_to_path"]
+
+
+@dataclass(frozen=True)
+class RetrainSettings:
+    """Hyper-parameters of an orchestrated retrain.
+
+    ``min_rating`` defaults to 0.0 (not the paper's 3.0): stream events carry
+    implicit weight-1.0 feedback, and a retrain that silently filtered every
+    one of them out would defeat the point of retraining.
+    """
+
+    backbone: str = "bpr-mf"
+    variant: str = "baseline"
+    embedding_dim: int = 32
+    epochs: int = 4
+    seed: int = 0
+    min_rating: float = 0.0
+    dataset_name: str = "retrain"
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+
+
+def retrain_snapshot(
+    table: RatingTable,
+    settings: RetrainSettings | None = None,
+    extra_metadata: dict | None = None,
+) -> EmbeddingSnapshot:
+    """Preprocess ``table``, train the configured backbone, export a snapshot."""
+    from ..align.base import AlignedRecommender
+    from ..experiments.common import ExperimentScale, build_variant, make_backbone
+    from ..llm.encoder import SimulatedLLMEncoder
+    from . import Trainer, TrainingConfig
+
+    settings = settings or RetrainSettings()
+    dataset = build_dataset(
+        table,
+        name=settings.dataset_name,
+        min_rating=settings.min_rating,
+        seed=settings.seed,
+    )
+    scale = ExperimentScale(
+        embedding_dim=settings.embedding_dim, epochs=settings.epochs, seed=settings.seed
+    )
+    backbone = make_backbone(settings.backbone, dataset, scale)
+    alignment = None
+    if settings.variant not in {"baseline", "none"}:
+        semantic = SimulatedLLMEncoder(
+            embedding_dim=scale.llm_dim, noise_strength=scale.llm_noise, seed=settings.seed + 7
+        ).encode(dataset)
+        alignment = build_variant(settings.variant, backbone, semantic, scale)
+    model = AlignedRecommender(backbone, alignment)
+    Trainer(
+        model, TrainingConfig(epochs=settings.epochs, seed=settings.seed)
+    ).fit()
+    metadata = {"retrained_from_events": True}
+    if extra_metadata:
+        metadata.update(extra_metadata)
+    return create_snapshot(model, extra_metadata=metadata)
+
+
+def retrain_to_path(
+    table: RatingTable,
+    path: str | Path,
+    settings: RetrainSettings | None = None,
+    extra_metadata: dict | None = None,
+) -> Path:
+    """Train from ``table`` and atomically publish the snapshot at ``path``.
+
+    Safe to run in a disposable worker process: the publish goes through the
+    tmp + fsync + rename path of :func:`repro.serve.save_snapshot`, so a
+    killed worker leaves either no candidate file or a complete one.
+    """
+    snapshot = retrain_snapshot(table, settings=settings, extra_metadata=extra_metadata)
+    return save_snapshot(snapshot, path)

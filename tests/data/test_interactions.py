@@ -145,3 +145,75 @@ class TestInteractionDataset:
     def test_train_positives_cached(self):
         dataset = build_dataset()
         assert dataset.train_positives is dataset.train_positives
+
+
+class TestRatingTableValidation:
+    """Constructor and append reject malformed input with actionable messages."""
+
+    def make(self) -> RatingTable:
+        return RatingTable(
+            users=np.array([0, 1, 2]),
+            items=np.array([0, 1, 0]),
+            ratings=np.array([5.0, 3.0, 4.0]),
+            num_users=3,
+            num_items=2,
+        )
+
+    def test_mismatched_lengths_name_the_sizes(self):
+        with pytest.raises(ValueError, match=r"equal length.*got 2, 3 and 3"):
+            RatingTable(
+                users=np.array([0, 1]),
+                items=np.array([0, 1, 0]),
+                ratings=np.array([1.0, 1.0, 1.0]),
+                num_users=3,
+                num_items=2,
+            )
+
+    def test_out_of_range_user_names_bounds(self):
+        with pytest.raises(ValueError, match=r"user index out of range.*valid ids are 0\.\.2"):
+            RatingTable(
+                users=np.array([0, 5]),
+                items=np.array([0, 1]),
+                ratings=np.array([1.0, 1.0]),
+                num_users=3,
+                num_items=2,
+            )
+
+    def test_out_of_range_item_names_bounds(self):
+        with pytest.raises(ValueError, match=r"item index out of range.*valid ids are 0\.\.1"):
+            RatingTable(
+                users=np.array([0, 1]),
+                items=np.array([0, 7]),
+                ratings=np.array([1.0, 1.0]),
+                num_users=3,
+                num_items=2,
+            )
+
+    def test_append_mismatched_lengths(self):
+        table = self.make()
+        with pytest.raises(ValueError, match=r"parallel arrays.*got 2, 1 and 2"):
+            table.append([3, 4], [0], [1.0, 1.0])
+
+    def test_append_negative_user_id(self):
+        table = self.make()
+        with pytest.raises(ValueError, match=r"negative user id \(-1\)"):
+            table.append([-1], [0])
+
+    def test_append_negative_item_id(self):
+        table = self.make()
+        with pytest.raises(ValueError, match=r"negative item id \(-4\)"):
+            table.append([0], [-4])
+
+    def test_append_grows_entity_counts(self):
+        table = self.make()
+        grown = table.append([5], [9], [2.0])
+        assert grown.num_users == 6
+        assert grown.num_items == 10
+        assert len(grown) == 4
+        # The original table is untouched (append is persistent-style).
+        assert table.num_users == 3
+        assert len(table) == 3
+
+    def test_append_defaults_ratings_to_one(self):
+        grown = self.make().append([0, 1], [1, 0])
+        np.testing.assert_array_equal(grown.ratings[-2:], [1.0, 1.0])

@@ -242,3 +242,30 @@ class TestStreamingCommands:
         assert delta.is_delta
         assert delta.num_users == 1000
         assert delta.delta_event_range == (0, 3)
+
+
+class TestRetrainLoopCommand:
+    def test_retrain_loop_parses(self):
+        args = build_parser().parse_args(
+            [
+                "retrain-loop",
+                "--directory",
+                "/tmp/lc",
+                "--events",
+                "300",
+                "--min-recall-ratio",
+                "0.8",
+                "--worker",
+                "--smoke",
+            ]
+        )
+        assert args.command == "retrain-loop"
+        assert args.directory == "/tmp/lc"
+        assert args.events == 300
+        assert args.min_recall_ratio == pytest.approx(0.8)
+        assert args.worker
+        assert args.smoke
+
+    def test_retrain_loop_requires_directory(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["retrain-loop"])

@@ -1,0 +1,155 @@
+"""Circuit breaker state machine: closed → open → half-open → closed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import BreakerOpenError, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make_breaker(clock: FakeClock, **kwargs) -> CircuitBreaker:
+    defaults = dict(
+        failure_threshold=0.5,
+        window=10,
+        min_calls=4,
+        reset_timeout=30.0,
+        half_open_successes=2,
+        half_open_max_calls=2,
+        clock=clock,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_few_failures_do_not_open_below_min_calls(self, clock):
+        breaker = make_breaker(clock, min_calls=4)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_opens_at_failure_threshold(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.open_count == 1
+
+    def test_window_slides_old_outcomes_out(self, clock):
+        breaker = make_breaker(clock, window=4, min_calls=4)
+        for _ in range(2):
+            breaker.record_failure()
+        for _ in range(4):
+            breaker.record_success()
+        # The two early failures fell out of the 4-wide window.
+        assert breaker.failure_rate() == 0.0
+        assert breaker.state == CircuitBreaker.CLOSED
+
+
+class TestOpenAndHalfOpen:
+    def _open(self, clock) -> CircuitBreaker:
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        return breaker
+
+    def test_open_refuses_until_timeout(self, clock):
+        breaker = self._open(clock)
+        assert not breaker.allow()
+        clock.advance(29.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()
+
+    def test_half_open_limits_probe_count(self, clock):
+        breaker = self._open(clock)
+        clock.advance(31)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # third concurrent probe refused
+
+    def test_probe_successes_close(self, clock):
+        breaker = self._open(clock)
+        clock.advance(31)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failure_rate() == 0.0
+
+    def test_probe_failure_reopens_and_restarts_timeout(self, clock):
+        breaker = self._open(clock)
+        clock.advance(31)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.open_count == 2
+        clock.advance(29)
+        assert not breaker.allow()
+
+    def test_trip_and_reset_force_transitions(self, clock):
+        breaker = make_breaker(clock)
+        breaker.trip()
+        assert breaker.state == CircuitBreaker.OPEN
+        breaker.reset()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+
+class TestCallWrapper:
+    def test_call_records_outcomes(self, clock):
+        breaker = make_breaker(clock)
+        def boom():
+            raise RuntimeError("down")
+
+        assert breaker.call(lambda: 42) == 42
+        # One success + three failures: window holds min_calls outcomes at a
+        # 75% failure rate, so the third failure opens the breaker.
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(boom)
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(BreakerOpenError):
+            breaker.call(lambda: 42)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0.0},
+            {"failure_threshold": 1.5},
+            {"min_calls": 0},
+            {"min_calls": 30, "window": 10},
+            {"reset_timeout": -1.0},
+            {"half_open_successes": 0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, clock, kwargs):
+        with pytest.raises(ValueError):
+            make_breaker(clock, **kwargs)

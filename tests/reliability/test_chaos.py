@@ -1,0 +1,196 @@
+"""Chaos suite: kill the process (in effigy) at the worst instruction.
+
+Every scenario arms the deterministic fault injector so an instrumented
+write dies exactly where a SIGKILL would hurt most, then asserts the
+durability contract:
+
+* the WAL never loses a committed record — at most the torn tail of the
+  failed append is dropped on recovery;
+* ``load_snapshot(verify=True)`` never returns a corrupt snapshot — a torn
+  publish either leaves the old file or is rejected;
+* the serving layer keeps answering (popularity fallback) while its
+  retrieval path is failing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability import FaultError, FaultInjector, inject_faults
+from repro.reliability.faults import FAULTS_ENV
+from repro.serve import (
+    RecommendationService,
+    SnapshotIntegrityError,
+    build_snapshot,
+    load_snapshot,
+    manifest_path,
+    save_snapshot,
+)
+from repro.stream import EventLog, WalCorruptionWarning
+
+
+@pytest.fixture(autouse=True)
+def chaos_env(monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV, "1")
+
+
+@pytest.fixture()
+def snapshot():
+    rng = np.random.default_rng(0)
+    users, items = rng.normal(size=(20, 8)), rng.normal(size=(30, 8))
+    # Every user gets three training items so nobody is cold-start.
+    pairs = np.stack(
+        [np.repeat(np.arange(20), 3), np.arange(60) % 30], axis=1
+    )
+    return build_snapshot(users, items, train_pairs=pairs)
+
+
+def fill(log: EventLog, count: int, offset: int = 0) -> None:
+    for n in range(offset, offset + count):
+        log.append(n % 7, n % 11, timestamp=float(n))
+
+
+class TestWalChaos:
+    def test_torn_append_loses_only_the_torn_record(self, tmp_path):
+        wal = tmp_path / "events.wal"
+        with EventLog.open(wal) as log:
+            fill(log, 10)
+            # Die mid-write of record #11: a prefix of the frame hits the disk.
+            with inject_faults(FaultInjector().arm("wal.write", mode="torn")):
+                with pytest.raises(FaultError):
+                    log.append(99, 99, timestamp=99.0)
+            assert log.next_seq == 10  # memory matches the durable prefix
+
+        with pytest.warns(WalCorruptionWarning, match="torn"):
+            recovered = EventLog.open(wal)
+        assert recovered.next_seq == 10
+        assert [event.user_id for event in recovered.slice(0, 10)] == [
+            n % 7 for n in range(10)
+        ]
+        # Recovery truncated the torn tail: appends work and survive reopen.
+        fill(recovered, 3, offset=10)
+        recovered.close()
+        clean = EventLog.open(wal)  # no warning this time
+        assert clean.next_seq == 13
+        clean.close()
+
+    def test_fault_before_any_byte_keeps_wal_clean(self, tmp_path):
+        wal = tmp_path / "events.wal"
+        with EventLog.open(wal) as log:
+            fill(log, 5)
+            with inject_faults(FaultInjector().arm("wal.append")):
+                with pytest.raises(FaultError):
+                    log.append(99, 99)
+            fill(log, 5, offset=5)  # log remains usable after the fault
+            assert log.next_seq == 10
+
+        recovered = EventLog.open(wal)
+        assert recovered.next_seq == 10
+        recovered.close()
+
+    def test_torn_batch_extend_drops_only_uncommitted_tail(self, tmp_path):
+        wal = tmp_path / "events.wal"
+        with EventLog.open(wal) as log:
+            fill(log, 4)
+            users = np.arange(6, dtype=np.int64)
+            with inject_faults(
+                FaultInjector().arm("wal.write", mode="torn", partial_fraction=0.4)
+            ):
+                with pytest.raises(FaultError):
+                    log.extend(users, users)
+            assert log.next_seq == 4  # the batch was never acknowledged
+
+        with pytest.warns(WalCorruptionWarning):
+            recovered = EventLog.open(wal)
+        # A torn batch may leave whole committed frames before the tear; the
+        # contract is: all 4 acknowledged records survive, nothing corrupt
+        # is replayed, and the file is usable again.
+        assert recovered.next_seq >= 4
+        np.testing.assert_array_equal(
+            recovered.slice(0, 4).users, [n % 7 for n in range(4)]
+        )
+        recovered.close()
+
+
+class TestSnapshotChaos:
+    def test_torn_first_publish_leaves_no_readable_snapshot(self, tmp_path, snapshot):
+        path = tmp_path / "model.npz"
+        with inject_faults(FaultInjector().arm("snapshot.write", mode="torn")):
+            with pytest.raises(FaultError):
+                save_snapshot(snapshot, path)
+        # The tmp file died before the rename: nothing was published.
+        assert not path.exists()
+        with pytest.raises(FileNotFoundError):
+            load_snapshot(path, verify=True)
+
+    def test_torn_republish_preserves_the_old_snapshot(self, tmp_path, snapshot):
+        path = save_snapshot(snapshot, tmp_path / "model.npz")
+        rng = np.random.default_rng(1)
+        newer = build_snapshot(
+            rng.normal(size=(20, 8)), rng.normal(size=(30, 8))
+        )
+        with inject_faults(FaultInjector().arm("snapshot.write", mode="torn")):
+            with pytest.raises(FaultError):
+                save_snapshot(newer, path)
+        loaded = load_snapshot(path, verify=True)
+        assert loaded.snapshot_id == snapshot.snapshot_id
+
+    def test_crash_between_archive_and_manifest_fails_closed(
+        self, tmp_path, snapshot
+    ):
+        path = save_snapshot(snapshot, tmp_path / "model.npz")
+        rng = np.random.default_rng(2)
+        newer = build_snapshot(
+            rng.normal(size=(20, 8)), rng.normal(size=(30, 8))
+        )
+        # The archive rename lands; the process dies before the manifest's.
+        with inject_faults(FaultInjector().arm("snapshot.manifest.write")):
+            with pytest.raises(FaultError):
+                save_snapshot(newer, path)
+        with pytest.raises(SnapshotIntegrityError, match="different publishes"):
+            load_snapshot(path, verify=True)
+        # Unverified load still works (the archive itself is complete), and
+        # re-publishing heals the manifest.
+        assert load_snapshot(path).snapshot_id == newer.snapshot_id
+        save_snapshot(newer, path)
+        assert load_snapshot(path, verify=True).snapshot_id == newer.snapshot_id
+        assert manifest_path(path).exists()
+
+    def test_verify_rejects_bit_corruption_injected_on_disk(self, tmp_path, snapshot):
+        path = save_snapshot(snapshot, tmp_path / "model.npz")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises((SnapshotIntegrityError, ValueError)):
+            load_snapshot(path, verify=True)
+
+
+class TestServiceChaos:
+    def test_service_keeps_answering_through_retrieval_failures(self, snapshot):
+        service = RecommendationService(snapshot, default_k=5)
+        healthy = service.recommend(3, k=5)
+        assert healthy.source == "model"
+        assert len(healthy.items) == 5
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("index corrupted")
+
+        service.retriever.topk_for_users = broken
+        # Every (uncached) query during the outage is answered from popularity.
+        for user in range(4, 12):
+            degraded = service.recommend(user, k=5)
+            assert len(degraded.items) == 5
+            assert degraded.source == "popularity"
+        assert service.stats.degraded_queries == 8
+        assert service.stats.retrieval_errors >= 1
+        # The breaker opened, so later queries stop touching the index.
+        assert service.breaker.open_count >= 1
+        assert service.stats.retrieval_errors < 8
+
+    def test_swap_snapshot_resets_the_breaker(self, snapshot):
+        service = RecommendationService(snapshot, default_k=5)
+        service.breaker.trip()
+        service.swap_snapshot(snapshot)
+        assert service.breaker.state == service.breaker.CLOSED
+        assert service.recommend(3, k=5).source != "popularity"

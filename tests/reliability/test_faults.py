@@ -1,0 +1,121 @@
+"""Fault injector: gating, deterministic firing, torn writes."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.reliability import (
+    FaultError,
+    FaultInjector,
+    active_injector,
+    fault_point,
+    faults_allowed,
+    faulty_write,
+    inject_faults,
+)
+from repro.reliability.faults import FAULTS_ENV
+
+
+@pytest.fixture()
+def chaos_env(monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV, "1")
+
+
+class TestGating:
+    def test_refuses_without_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert not faults_allowed()
+        with pytest.raises(RuntimeError, match=FAULTS_ENV):
+            with inject_faults(FaultInjector()):
+                pass  # pragma: no cover
+
+    @pytest.mark.parametrize("value", ["0", "false", "False", ""])
+    def test_falsy_env_values_keep_faults_off(self, monkeypatch, value):
+        monkeypatch.setenv(FAULTS_ENV, value)
+        assert not faults_allowed()
+
+    def test_fault_point_is_noop_without_injector(self):
+        assert active_injector() is None
+        fault_point("anything")  # must not raise
+
+    def test_scope_installs_and_removes(self, chaos_env):
+        injector = FaultInjector()
+        with inject_faults(injector) as installed:
+            assert installed is injector
+            assert active_injector() is injector
+        assert active_injector() is None
+
+    def test_nested_injectors_refused(self, chaos_env):
+        with inject_faults(FaultInjector()):
+            with pytest.raises(RuntimeError, match="already active"):
+                with inject_faults(FaultInjector()):
+                    pass  # pragma: no cover
+
+
+class TestFiring:
+    def test_fires_on_exact_call_index(self, chaos_env):
+        injector = FaultInjector().arm("site", at=3)
+        with inject_faults(injector):
+            fault_point("site")
+            fault_point("site")
+            with pytest.raises(FaultError) as excinfo:
+                fault_point("site")
+            fault_point("site")  # times=1: no further firing
+        assert excinfo.value.site == "site"
+        assert excinfo.value.call_index == 3
+        assert injector.history == [("site", 3, "raise")]
+
+    def test_unarmed_sites_never_fire(self, chaos_env):
+        with inject_faults(FaultInjector().arm("other")):
+            fault_point("site")
+
+    def test_probability_firing_is_seeded(self, chaos_env):
+        def fired_pattern(seed: int) -> list[bool]:
+            injector = FaultInjector(seed=seed).arm(
+                "p", at=None, times=None, probability=0.5
+            )
+            pattern = []
+            with inject_faults(injector):
+                for _ in range(20):
+                    try:
+                        fault_point("p")
+                        pattern.append(False)
+                    except FaultError:
+                        pattern.append(True)
+            return pattern
+
+        assert fired_pattern(7) == fired_pattern(7)
+        assert any(fired_pattern(7))
+        assert not all(fired_pattern(7))
+
+    def test_arm_validates_parameters(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("x", mode="explode")
+        with pytest.raises(ValueError):
+            FaultInjector().arm("x", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector().arm("x", partial_fraction=1.0)
+
+
+class TestFaultyWrite:
+    def test_writes_through_without_injector(self):
+        stream = io.BytesIO()
+        assert faulty_write(stream, b"abcdef", "w") == 6
+        assert stream.getvalue() == b"abcdef"
+
+    def test_raise_mode_writes_nothing(self, chaos_env):
+        stream = io.BytesIO()
+        with inject_faults(FaultInjector().arm("w")):
+            with pytest.raises(FaultError):
+                faulty_write(stream, b"abcdef", "w")
+        assert stream.getvalue() == b""
+
+    def test_torn_mode_writes_prefix_then_raises(self, chaos_env):
+        stream = io.BytesIO()
+        injector = FaultInjector().arm("w", mode="torn", partial_fraction=0.5)
+        with inject_faults(injector):
+            with pytest.raises(FaultError):
+                faulty_write(stream, b"abcdef", "w")
+        assert stream.getvalue() == b"abc"

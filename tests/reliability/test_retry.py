@@ -1,0 +1,123 @@
+"""Retry policy: backoff schedule, deadline, selective retrying."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import RetryError, RetryPolicy, retry, retryable
+
+
+class Flaky:
+    """Callable that fails ``failures`` times before succeeding."""
+
+    def __init__(self, failures: int, error: Exception | None = None) -> None:
+        self.failures = failures
+        self.calls = 0
+        self.error = error or RuntimeError("transient")
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return ("ok", args, kwargs)
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=1.0, multiplier=2.0, max_delay=5.0, jitter=0.0
+        )
+        assert policy.delays() == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(attempts=5, base_delay=1.0, jitter=0.5, seed=3)
+        first, second = policy.delays(), policy.delays()
+        assert first == second
+        for raw, jittered in zip(
+            RetryPolicy(attempts=5, base_delay=1.0, jitter=0.0).delays(), first
+        ):
+            assert raw <= jittered <= raw * 1.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        flaky = Flaky(failures=2)
+        sleeps: list[float] = []
+        result = retry(
+            flaky, 1, policy=RetryPolicy(attempts=4), sleep=sleeps.append, two=2
+        )
+        assert result == ("ok", (1,), {"two": 2})
+        assert flaky.calls == 3
+        assert len(sleeps) == 2
+
+    def test_exhausted_attempts_raise_retry_error(self):
+        flaky = Flaky(failures=10)
+        with pytest.raises(RetryError) as excinfo:
+            retry(flaky, policy=RetryPolicy(attempts=3), sleep=lambda _: None)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, RuntimeError)
+        assert flaky.calls == 3
+
+    def test_non_matching_exception_propagates_immediately(self):
+        flaky = Flaky(failures=5, error=KeyError("boom"))
+        with pytest.raises(KeyError):
+            retry(
+                flaky,
+                policy=RetryPolicy(attempts=5),
+                retry_on=(RuntimeError,),
+                sleep=lambda _: None,
+            )
+        assert flaky.calls == 1
+
+    def test_deadline_cuts_schedule_short(self):
+        flaky = Flaky(failures=10)
+        now = [0.0]
+        with pytest.raises(RetryError) as excinfo:
+            retry(
+                flaky,
+                policy=RetryPolicy(
+                    attempts=10, base_delay=1.0, jitter=0.0, timeout=2.5
+                ),
+                sleep=lambda delay: now.__setitem__(0, now[0] + delay),
+                clock=lambda: now[0],
+            )
+        # 1s + 2s sleeps fit in the 2.5s budget only once: attempt 1 sleeps
+        # 1s, then the 2s backoff would overshoot the deadline.
+        assert excinfo.value.attempts == 2
+        assert "deadline" in str(excinfo.value)
+
+    def test_on_retry_callback_sees_each_failure(self):
+        flaky = Flaky(failures=2)
+        seen: list[tuple[int, str]] = []
+        retry(
+            flaky,
+            policy=RetryPolicy(attempts=4),
+            on_retry=lambda attempt, error: seen.append((attempt, str(error))),
+            sleep=lambda _: None,
+        )
+        assert seen == [(0, "transient"), (1, "transient")]
+
+    def test_retryable_decorator(self):
+        calls = {"n": 0}
+
+        @retryable(policy=RetryPolicy(attempts=3), sleep=lambda _: None)
+        def sometimes():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise RuntimeError("once")
+            return calls["n"]
+
+        assert sometimes() == 2

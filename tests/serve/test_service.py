@@ -440,3 +440,56 @@ def create_snapshot_variant(snapshot, shift: float = 1.0):
         model_name="variant",
     )
     return variant
+
+
+class TestGracefulDegradation:
+    """Retrieval failures open the breaker; queries degrade, never error."""
+
+    def _break_retriever(self, service):
+        def broken(*args, **kwargs):
+            raise RuntimeError("index corrupted")
+
+        service.retriever.topk_for_users = broken
+
+    def test_retrieval_failure_served_from_popularity(self, snapshot):
+        service = RecommendationService(snapshot)
+        self._break_retriever(service)
+        recommendation = service.recommend(0, k=4)
+        assert recommendation.source == "popularity"
+        assert len(recommendation.items) == 4
+        assert service.stats.retrieval_errors == 1
+        assert service.stats.degraded_queries == 1
+
+    def test_breaker_opens_and_stops_touching_the_index(self, snapshot):
+        service = RecommendationService(snapshot)
+        self._break_retriever(service)
+        for user in range(10):
+            assert service.recommend(user, k=3).source == "popularity"
+        assert service.breaker.open_count >= 1
+        # Once open, queries degrade without even calling the retriever.
+        assert service.stats.retrieval_errors < 10
+        assert service.stats.degraded_queries == 10
+
+    def test_degraded_results_are_not_cached(self, snapshot):
+        service = RecommendationService(snapshot)
+        original = service.retriever.topk_for_users
+        self._break_retriever(service)
+        assert service.recommend(1, k=4).source == "popularity"
+        # Recovery: restore the retriever and close the breaker — the same
+        # query immediately serves model results again (no stale cache).
+        service.retriever.topk_for_users = original
+        service.breaker.reset()
+        assert service.recommend(1, k=4).source == "model"
+
+    def test_swap_resets_breaker_state(self, snapshot):
+        service = RecommendationService(snapshot)
+        service.breaker.trip()
+        assert not service.breaker.allow()
+        service.swap_snapshot(snapshot)
+        assert service.breaker.allow()
+
+    def test_stats_expose_degradation_counters(self, snapshot):
+        service = RecommendationService(snapshot)
+        stats = service.stats.as_dict()
+        assert stats["degraded_queries"] == 0
+        assert stats["retrieval_errors"] == 0

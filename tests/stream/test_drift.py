@@ -110,3 +110,56 @@ class TestMonitor:
         monitor.observe_residual(1.0, count=1)
         monitor.observe_residual(4.0, count=3)
         assert monitor.metrics().mean_residual == pytest.approx(3.25)
+
+
+class TestEdgeCases:
+    """Degenerate windows must never produce NaN or ZeroDivisionError."""
+
+    def test_empty_drain_window(self):
+        monitor = DriftMonitor(np.array([5, 3, 2]), num_snapshot_users=4)
+        monitor.observe_batch(batch_of([], []))
+        metrics = monitor.metrics()
+        assert metrics.events_observed == 0
+        assert metrics.popularity_kl == 0.0
+        assert metrics.cold_user_ratio == 0.0
+        assert metrics.mean_residual == 0.0
+        assert monitor.check() is None
+
+    def test_all_cold_user_batches(self):
+        config = DriftConfig(cold_user_threshold=0.5, min_events=4, kl_threshold=None)
+        monitor = DriftMonitor(np.array([5, 3, 2]), config=config, num_snapshot_users=2)
+        monitor.observe_batch(batch_of([10, 11, 12, 13], [0, 1, 2, 0]))
+        metrics = monitor.metrics()
+        assert metrics.cold_user_ratio == 1.0
+        assert np.isfinite(metrics.popularity_kl)
+        signal = monitor.check()
+        assert signal is not None
+        assert signal.reasons == ("cold_user_ratio",)
+
+    def test_zero_popularity_reference(self):
+        # A snapshot with no training interactions at all: the reference
+        # counts are all zero; smoothing must keep the KL finite.
+        monitor = DriftMonitor(
+            np.zeros(4, dtype=np.int64),
+            config=DriftConfig(min_events=2),
+            num_snapshot_users=8,
+        )
+        monitor.observe_batch(batch_of([0, 1, 2], [0, 0, 1]))
+        metrics = monitor.metrics()
+        assert np.isfinite(metrics.popularity_kl)
+        assert metrics.popularity_kl >= 0.0
+        monitor.check()  # must not raise
+
+    def test_zero_observed_counts_kl(self):
+        assert np.isfinite(popularity_kl(np.zeros(3), np.zeros(3)))
+        assert popularity_kl(np.zeros(3), np.zeros(3)) == pytest.approx(0.0)
+
+    def test_residual_only_window(self):
+        # Residuals observed but no events: ratio and KL stay at zero and
+        # min_events keeps the monitor quiet.
+        monitor = DriftMonitor(np.array([1, 1]), num_snapshot_users=2)
+        monitor.observe_residual(5.0, count=3)
+        metrics = monitor.metrics()
+        assert metrics.mean_residual == pytest.approx(5.0)
+        assert metrics.events_observed == 0
+        assert monitor.check() is None

@@ -7,7 +7,7 @@ import threading
 import numpy as np
 import pytest
 
-from repro.stream import EventLog, InteractionEvent
+from repro.stream import EventLog, InteractionEvent, WalCorruptionWarning
 
 
 class TestAppend:
@@ -150,3 +150,112 @@ class TestBatchHelpers:
 
     def test_by_user_empty(self):
         assert EventLog().slice().by_user() == {}
+
+
+class TestWalDurability:
+    """WAL-backed logs: roundtrip, recovery, torn/corrupt tail truncation."""
+
+    def test_in_memory_log_is_not_durable(self):
+        log = EventLog()
+        assert log.path is None
+        assert not log.durable
+        log.sync()  # no-op, must not raise
+        log.close()
+
+    def test_roundtrip_across_reopen(self, tmp_path):
+        wal = tmp_path / "events.wal"
+        with EventLog.open(wal) as log:
+            assert log.durable
+            log.append(1, 2, timestamp=0.5, weight=2.0)
+            log.extend([3, 4], [5, 6], timestamps=[1.0, 2.0], weights=[0.1, 0.2])
+
+        recovered = EventLog.open(wal)
+        assert recovered.next_seq == 3
+        assert recovered[0] == InteractionEvent(0, 1, 2, 0.5, 2.0)
+        assert recovered[2] == InteractionEvent(2, 4, 6, 2.0, 0.2)
+        recovered.close()
+
+    def test_append_after_reopen_continues_sequence(self, tmp_path):
+        wal = tmp_path / "events.wal"
+        with EventLog.open(wal) as log:
+            log.extend([0, 1], [0, 1])
+        with EventLog.open(wal) as log:
+            event = log.append(9, 9)
+            assert event.seq == 2
+        with EventLog.open(wal) as log:
+            assert log.next_seq == 3
+
+    def test_truncated_tail_is_dropped_with_warning(self, tmp_path):
+        wal = tmp_path / "events.wal"
+        with EventLog.open(wal) as log:
+            log.extend([0, 1, 2], [0, 1, 2])
+        intact = wal.read_bytes()
+        wal.write_bytes(intact[:-5])  # tear the last frame mid-CRC
+
+        with pytest.warns(WalCorruptionWarning, match="torn"):
+            recovered = EventLog.open(wal)
+        assert recovered.next_seq == 2
+        # The torn bytes were truncated away: the file is frame-aligned again.
+        assert len(wal.read_bytes()) == len(intact) - len(intact) // 3
+        recovered.close()
+
+    def test_bit_flip_fails_crc_and_stops_replay(self, tmp_path):
+        wal = tmp_path / "events.wal"
+        with EventLog.open(wal) as log:
+            log.extend([0, 1, 2], [0, 1, 2])
+        data = bytearray(wal.read_bytes())
+        frame = len(data) // 3
+        data[frame + 10] ^= 0xFF  # corrupt record #2's payload
+        wal.write_bytes(bytes(data))
+
+        with pytest.warns(WalCorruptionWarning, match="CRC"):
+            recovered = EventLog.open(wal)
+        # Replay stops at the corrupt record; only the prefix survives.
+        assert recovered.next_seq == 1
+        recovered.close()
+
+    def test_garbage_length_prefix_rejected(self, tmp_path):
+        wal = tmp_path / "events.wal"
+        with EventLog.open(wal) as log:
+            log.append(0, 0)
+        wal.write_bytes(wal.read_bytes() + b"\xff\xff\xff\xff" + b"junk")
+
+        with pytest.warns(WalCorruptionWarning, match="invalid frame length"):
+            recovered = EventLog.open(wal)
+        assert recovered.next_seq == 1
+        recovered.close()
+
+    def test_unsynced_log_still_replays_flushed_records(self, tmp_path):
+        wal = tmp_path / "events.wal"
+        log = EventLog.open(wal, fsync=False)
+        log.extend(range(5), range(5))
+        log.close()
+        recovered = EventLog.open(wal, fsync=False)
+        assert recovered.next_seq == 5
+        recovered.close()
+
+    def test_close_keeps_memory_view_readable(self, tmp_path):
+        log = EventLog.open(tmp_path / "events.wal")
+        log.extend([1, 2], [3, 4])
+        log.close()
+        assert not log.durable
+        assert log.next_seq == 2
+        np.testing.assert_array_equal(log.slice().users, [1, 2])
+
+    def test_empty_file_recovers_to_empty_log(self, tmp_path):
+        wal = tmp_path / "events.wal"
+        wal.touch()
+        log = EventLog.open(wal)
+        assert log.next_seq == 0
+        log.close()
+
+    def test_updater_resumes_over_recovered_log(self, tmp_path):
+        # The WAL is the source of truth a restarted ingest process replays.
+        wal = tmp_path / "events.wal"
+        with EventLog.open(wal) as log:
+            log.extend([7, 8, 7], [1, 2, 3])
+        recovered = EventLog.open(wal)
+        groups = recovered.slice().by_user()
+        np.testing.assert_array_equal(groups[7], [1, 3])
+        np.testing.assert_array_equal(groups[8], [2])
+        recovered.close()
