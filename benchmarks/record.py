@@ -1,9 +1,14 @@
 """Append benchmark measurements to a JSON history file.
 
-Each call appends one ``{"metric", "value", "commit", "date"}`` row, so the
-file accumulates a per-commit history that can be diffed or plotted to catch
-performance regressions.  The file is a plain JSON list — human-readable,
-merge-friendly, and trivially loadable with ``json.load``.
+Each call appends one ``{"metric", "value", "commit", "date", "schema",
+"env"}`` row, so the file accumulates a per-commit history that can be diffed
+or plotted to catch performance regressions.  ``schema`` is
+:data:`RECORD_SCHEMA` (bumped when the row shape changes); ``env`` captures
+the measurement context a number is meaningless without — python/numpy
+versions and CPU count — and deliberately nothing host-identifying (no
+hostname, no usernames), so histories can be shared and committed.  The file
+is a plain JSON list — human-readable, merge-friendly, and trivially loadable
+with ``json.load``.
 
 Updates are crash-safe: the grown list is written to a temporary file and
 renamed over the history via ``os.replace``, so a benchmark process killed
@@ -24,9 +29,29 @@ import warnings
 from datetime import datetime, timezone
 from pathlib import Path
 
-__all__ = ["DEFAULT_HISTORY", "current_commit", "record"]
+__all__ = ["DEFAULT_HISTORY", "RECORD_SCHEMA", "current_commit", "env_metadata", "record"]
 
 DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_nn_compile.json"
+
+#: Row shape version: 1 = {metric, value, commit, date}; 2 adds schema + env.
+RECORD_SCHEMA = 2
+
+
+def env_metadata() -> dict:
+    """Hostname-free measurement context stamped into every row.
+
+    Only facts that change what a benchmark number *means* — interpreter and
+    numpy versions, CPU count — never facts that identify the machine.
+    """
+    import platform
+
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def current_commit() -> str:
@@ -83,6 +108,8 @@ def record(metric: str, value: float, path: Path | str | None = None) -> dict:
         "value": float(value),
         "commit": current_commit(),
         "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "schema": RECORD_SCHEMA,
+        "env": env_metadata(),
     }
     rows = _load_history(path)
     rows.append(row)

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from .record import _load_history, current_commit, record
+from .record import RECORD_SCHEMA, _load_history, current_commit, env_metadata, record
 
 
 class TestRecord:
@@ -17,7 +17,28 @@ class TestRecord:
         rows = json.loads(history.read_text())
         assert [row["value"] for row in rows] == [1.5, 1.7]
         assert first["metric"] == second["metric"] == "speedup"
-        assert all(set(row) == {"metric", "value", "commit", "date"} for row in rows)
+        assert all(
+            set(row) == {"metric", "value", "commit", "date", "schema", "env"}
+            for row in rows
+        )
+        assert all(row["schema"] == RECORD_SCHEMA for row in rows)
+
+    def test_env_metadata_is_hostname_free(self):
+        import platform
+        import socket
+
+        env = env_metadata()
+        assert set(env) == {"python", "numpy", "cpu_count"}
+        assert env["python"] == platform.python_version()
+        assert env["cpu_count"] >= 1
+        # Nothing host-identifying may leak into shareable histories.
+        hostname = socket.gethostname()
+        assert hostname not in json.dumps(env)
+
+    def test_rows_carry_env_context(self, tmp_path):
+        row = record("m", 1.0, path=tmp_path / "bench.json")
+        assert row["env"]["numpy"]  # non-empty version string
+        assert isinstance(row["env"]["cpu_count"], int)
 
     def test_no_tmp_files_left_behind(self, tmp_path):
         history = tmp_path / "bench.json"

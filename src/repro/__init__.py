@@ -14,7 +14,9 @@ The package is organised in layers:
 * :mod:`repro.analysis`, :mod:`repro.experiments` — information-theoretic
   analysis, t-SNE, case study and one runner per paper table/figure;
 * :mod:`repro.serve` — online serving: embedding snapshots, exact and
-  IVF-accelerated top-K retrieval, and a batched recommendation service.
+  IVF-accelerated top-K retrieval, and a batched recommendation service;
+* :mod:`repro.obs` — observability: metrics registry, span tracing,
+  exporters and per-op profiling (off by default, zero-cost when off).
 
 Quickstart::
 
@@ -37,7 +39,7 @@ Quickstart::
 # (e.g. repro.serve snapshots) stamp it into their artifacts at import time.
 __version__ = "1.1.0"
 
-from . import align, analysis, cluster, data, eval, experiments, graph, llm, models, nn, serve, train
+from . import align, analysis, cluster, data, eval, experiments, graph, llm, models, nn, obs, serve, train
 
 __all__ = [
     "align",
@@ -50,6 +52,7 @@ __all__ = [
     "llm",
     "models",
     "nn",
+    "obs",
     "serve",
     "train",
     "__version__",

@@ -7,6 +7,9 @@ Usage::
     python -m repro datasets --scale 0.3
     python -m repro export-snapshot --output model.npz --backbone lightgcn --variant darec
     python -m repro recommend --snapshot model.npz --user 3 --user 17 -k 10 --index ivf
+    python -m repro recommend -s model.npz -u 3 --metrics-dump metrics.jsonl --trace-dump spans.jsonl
+    python -m repro metrics-dump --input metrics.jsonl --format prometheus
+    python -m repro trace --input spans.jsonl
     python -m repro stream-simulate --events 2000 --smoke
     python -m repro fold-in --snapshot model.npz --user 9999 --item 3 --item 17 --item 42
     python -m repro retrain-loop --directory /tmp/lifecycle --smoke
@@ -25,6 +28,18 @@ from .experiments.reporting import print_table
 __all__ = ["build_parser", "main"]
 
 
+def _version_string() -> str:
+    """``repro <version>``, plus the active snapshot id when the working
+    directory holds published snapshot manifests (serving-box context)."""
+    from .serve.snapshot import active_snapshot_id
+
+    version = f"repro {__version__}"
+    snapshot_id = active_snapshot_id(".")
+    if snapshot_id is not None:
+        version += f" (snapshot {snapshot_id})"
+    return version
+
+
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset-scale", type=float, default=0.25, help="synthetic dataset size multiplier")
     parser.add_argument("--epochs", type=int, default=2, help="training epochs per model")
@@ -39,7 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="DaRec reproduction — regenerate the paper's tables and figures, "
         "export serving snapshots and answer top-K queries.",
     )
-    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument("--version", action="version", version=_version_string())
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list the reproducible paper artefacts")
@@ -95,6 +110,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not mask the user's training items out of the results",
     )
+    recommend.add_argument(
+        "--metrics-dump",
+        default=None,
+        metavar="PATH",
+        help="enable metrics and write a JSONL dump of every series after serving",
+    )
+    recommend.add_argument(
+        "--trace-dump",
+        default=None,
+        metavar="PATH",
+        help="enable span tracing and write a JSONL span export after serving",
+    )
+
+    metrics_dump = subparsers.add_parser(
+        "metrics-dump",
+        help="render a JSONL metrics dump (from `recommend --metrics-dump` or a "
+        "PeriodicExporter) as a table, Prometheus text or JSON",
+    )
+    metrics_dump.add_argument("--input", "-i", required=True, help="JSONL metrics dump path")
+    metrics_dump.add_argument(
+        "--format",
+        choices=("table", "prometheus", "json"),
+        default="table",
+        help="output rendering",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="render a span JSONL export (from `recommend --trace-dump`) as a text flamegraph",
+    )
+    trace.add_argument("--input", "-i", required=True, help="span JSONL export path")
+    trace.add_argument("--width", type=int, default=40, help="flamegraph bar width (characters)")
 
     simulate = subparsers.add_parser(
         "stream-simulate",
@@ -264,6 +311,16 @@ def _command_recommend(args: argparse.Namespace) -> int:
     # training model is never instantiated.
     from .serve import IVFIndex, RecommendationService, load_snapshot
 
+    # Observability must be switched on *before* the service is constructed:
+    # components bind their metric handles once, at construction time.
+    if args.metrics_dump:
+        from .obs import enable
+
+        enable()
+    if args.trace_dump:
+        from .obs import enable_tracing
+
+        enable_tracing()
     snapshot = load_snapshot(args.snapshot)
     index = None
     if args.index == "ivf":
@@ -289,6 +346,73 @@ def _command_recommend(args: argparse.Namespace) -> int:
         columns=["user", "source", "items", "scores"],
         title=f"top-{args.top_k} from {snapshot.metadata['model']}@{snapshot.snapshot_id} ({args.index})",
     )
+    if args.metrics_dump:
+        from .obs import write_metrics_jsonl
+
+        families = write_metrics_jsonl(args.metrics_dump)
+        print(f"wrote {families} metric families to {args.metrics_dump}")
+    if args.trace_dump:
+        from .obs import get_tracer
+
+        spans = get_tracer().export_jsonl(args.trace_dump)
+        print(f"wrote {spans} spans to {args.trace_dump}")
+    return 0
+
+
+def _metric_series_rows(families: list[dict]) -> list[dict]:
+    """Flatten a metrics snapshot into one printable row per series."""
+    rows = []
+    for family in families:
+        for series in family["series"]:
+            labels = series.get("labels", {})
+            if family["kind"] == "histogram":
+                count = series["count"]
+                mean = series["sum"] / count if count else 0.0
+                value = f"count={count} sum={series['sum']:.6g} mean={mean:.6g}"
+            else:
+                value = f"{series['value']:.6g}"
+            rows.append(
+                {
+                    "name": family["name"],
+                    "kind": family["kind"],
+                    "labels": " ".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-",
+                    "value": value,
+                }
+            )
+    return rows
+
+
+def _command_metrics_dump(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import read_metrics_jsonl, render_prometheus
+
+    header, families = read_metrics_jsonl(args.input)
+    if args.format == "prometheus":
+        print(render_prometheus(families), end="")
+    elif args.format == "json":
+        print(json.dumps({"meta": header, "families": families}, indent=2))
+    else:
+        print_table(
+            _metric_series_rows(families),
+            columns=["name", "kind", "labels", "value"],
+            title=f"metrics dump {args.input} (schema {header.get('schema')})",
+        )
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import flamegraph_from_spans
+
+    spans = [
+        json.loads(line)
+        for line in Path(args.input).read_text().splitlines()
+        if line.strip()
+    ]
+    print(flamegraph_from_spans(spans, width=args.width))
     return 0
 
 
@@ -431,6 +555,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_export_snapshot(args)
     if args.command == "recommend":
         return _command_recommend(args)
+    if args.command == "metrics-dump":
+        return _command_metrics_dump(args)
+    if args.command == "trace":
+        return _command_trace(args)
     if args.command == "stream-simulate":
         return _command_stream_simulate(args)
     if args.command == "retrain-loop":

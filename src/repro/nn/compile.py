@@ -41,11 +41,13 @@ active Dropout) transparently fall back to eager execution forever.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..obs.profile import OpProfiler
 from .tensor import Tensor, TraceError, _set_tracing, _unbroadcast
 
 __all__ = ["compile", "CompiledStep", "CompileStats", "Program", "trace_program", "TraceError"]
@@ -270,8 +272,12 @@ class Program:
                 node.cell[0] = np.empty(node.shape, dtype=node.dtype)
 
         # Thunk compilation --------------------------------------------------
+        # Op names are kept in parallel lists (not attached to the thunks) so
+        # the unprofiled run() loop stays a bare `for thunk in self._fwd`.
         self._fwd: list[Callable[[], None]] = []
+        self._fwd_ops: list[str] = []
         self._bwd: list[Callable[[], None]] = []
+        self._bwd_ops: list[str] = []
         for node in self.nodes:
             if node.kind != "interior":
                 continue
@@ -281,9 +287,12 @@ class Program:
             fwd, bwd = build(self, node)
             if fwd is not None:
                 self._fwd.append(fwd)
+                self._fwd_ops.append(node.op)
             if bwd is not None:
                 self._bwd.append(bwd)
+                self._bwd_ops.append(node.op)
         self._bwd.reverse()  # reverse-topological, mirroring Tensor.backward
+        self._bwd_ops.reverse()
 
         self._loss_cell = self.nodes[self._loss_index].cell
         self._loss_slot = self.nodes[self._loss_index].slot
@@ -403,6 +412,57 @@ class Program:
             param = params[position]
             param.grad = slot.buf if (slot is not None and slot.filled) else None
         return float(np.asarray(self._loss_cell[0]).reshape(()))
+
+    def run_profiled(
+        self,
+        params: Sequence[Tensor],
+        inputs: Mapping[str, np.ndarray],
+        profiler: OpProfiler,
+    ) -> float:
+        """Like :meth:`run`, crediting per-thunk wall time to ``profiler``.
+
+        Each primitive is keyed ``<op>.fwd`` / ``<op>.bwd``; the non-thunk
+        replay work (leaf binding, gradient seeding, grad publish) is credited
+        under ``replay.*`` keys so the profile accounts for the whole replay,
+        not just the op loop.  A separate method keeps the unprofiled
+        :meth:`run` loop free of any timing branches.
+        """
+        perf = time.perf_counter
+        add = profiler.add
+        start = perf()
+        for cell, position in self._param_cells:
+            cell[0] = params[position].data
+        for cell, name in self._input_cells:
+            cell[0] = np.asarray(inputs[name])
+        for cell, tensor in self._const_bindings:
+            cell[0] = tensor.data
+        add("replay.bind", perf() - start)
+
+        for thunk, op in zip(self._fwd, self._fwd_ops):
+            start = perf()
+            thunk()
+            add(op + ".fwd", perf() - start)
+
+        if self._loss_requires_grad:
+            start = perf()
+            for slot in self._slots:
+                slot.filled = False
+            seed = self._loss_slot
+            seed.buf[...] = 1.0
+            seed.filled = True
+            add("replay.seed", perf() - start)
+            for thunk, op in zip(self._bwd, self._bwd_ops):
+                start = perf()
+                thunk()
+                add(op + ".bwd", perf() - start)
+
+        start = perf()
+        for position, slot in self._param_grad_publish:
+            param = params[position]
+            param.grad = slot.buf if (slot is not None and slot.filled) else None
+        loss = float(np.asarray(self._loss_cell[0]).reshape(()))
+        add("replay.publish", perf() - start)
+        return loss
 
     @property
     def num_nodes(self) -> int:
@@ -1099,7 +1159,14 @@ class CompiledStep:
     default ``mode="replay"`` traces on first use and replays afterwards.
     """
 
-    def __init__(self, step_fn: Callable, *, mode: str = "replay", cache_size: int = 8) -> None:
+    def __init__(
+        self,
+        step_fn: Callable,
+        *,
+        mode: str = "replay",
+        cache_size: int = 8,
+        profiler: OpProfiler | None = None,
+    ) -> None:
         if mode not in {"replay", "eager"}:
             raise ValueError("mode must be 'replay' or 'eager'")
         if cache_size <= 0:
@@ -1111,6 +1178,7 @@ class CompiledStep:
         self._disabled = False
         self._untraced_eager = False
         self.stats = CompileStats()
+        self.profiler = profiler
 
     # -- execution ---------------------------------------------------------
     def __call__(self, params: Sequence[Tensor], inputs: Mapping[str, np.ndarray]) -> float:
@@ -1119,6 +1187,7 @@ class CompiledStep:
         signature = _signature(params, inputs)
         program = self._programs.get(signature)
         if program is None:
+            trace_start = time.perf_counter() if self.profiler is not None else 0.0
             try:
                 program, _ = trace_program(self._step_fn, params, inputs)
             except TraceError:
@@ -1127,6 +1196,8 @@ class CompiledStep:
                 self._disabled = True
                 self.stats.fallbacks += 1
                 return self._eager(params, inputs)
+            if self.profiler is not None:
+                self.profiler.add("trace", time.perf_counter() - trace_start)
             if len(self._programs) >= self._cache_size:
                 self._programs.pop(next(iter(self._programs)))
             self._programs[signature] = program
@@ -1135,6 +1206,8 @@ class CompiledStep:
             self.stats.nodes = program.num_nodes
             self.stats.fused_nodes = sum(1 for n in program.nodes if n.fused)
         self.stats.replays += 1
+        if self.profiler is not None:
+            return program.run_profiled(params, inputs, self.profiler)
         return program.run(params, inputs)
 
     def eager(self, params: Sequence[Tensor], inputs: Mapping[str, np.ndarray]) -> float:
@@ -1146,6 +1219,12 @@ class CompiledStep:
         # reverse-topological accumulation order) is identical to a replay.
         # Steps that refuse to trace at all (e.g. active Dropout raising
         # TraceError) permanently switch to plain untraced eager execution.
+        if self.profiler is not None:
+            with self.profiler.time("eager.step"):
+                return self._eager_inner(params, inputs)
+        return self._eager_inner(params, inputs)
+
+    def _eager_inner(self, params: Sequence[Tensor], inputs: Mapping[str, np.ndarray]) -> float:
         wrapped = {name: _input_tensor(array) for name, array in inputs.items()}
         for param in params:
             param.grad = None
@@ -1175,12 +1254,32 @@ class CompiledStep:
         """The cached program that would serve this (params, inputs) shape."""
         return self._programs.get(_signature(params, inputs))
 
+    def enable_profiling(self, profiler: OpProfiler | None = None) -> OpProfiler:
+        """Attach (or create) a per-op profiler; returns it.
 
-def compile(step_fn: Callable, *, mode: str = "replay", cache_size: int = 8) -> CompiledStep:
+        Subsequent replays route through :meth:`Program.run_profiled`, so
+        every primitive's wall time accumulates under ``<op>.fwd`` /
+        ``<op>.bwd`` keys.  Detach with ``step.profiler = None``.
+        """
+        if profiler is None:
+            profiler = self.profiler if self.profiler is not None else OpProfiler()
+        self.profiler = profiler
+        return profiler
+
+
+def compile(
+    step_fn: Callable,
+    *,
+    mode: str = "replay",
+    cache_size: int = 8,
+    profiler: OpProfiler | None = None,
+) -> CompiledStep:
     """Compile ``step_fn(params, inputs) -> loss`` for trace-and-replay.
 
     See the module docstring for the trace/replay contract.  ``mode="eager"``
     returns a wrapper that always executes eagerly (reference arm);
-    ``cache_size`` bounds how many shape signatures keep live programs.
+    ``cache_size`` bounds how many shape signatures keep live programs;
+    ``profiler`` (an :class:`~repro.obs.profile.OpProfiler`) opts replays into
+    per-op wall-time accounting.
     """
-    return CompiledStep(step_fn, mode=mode, cache_size=cache_size)
+    return CompiledStep(step_fn, mode=mode, cache_size=cache_size, profiler=profiler)

@@ -1,0 +1,214 @@
+"""Exporters for the metrics registry: JSONL dumps and Prometheus text.
+
+Two consumers, two formats:
+
+* :func:`write_metrics_jsonl` / :func:`read_metrics_jsonl` — the registry's
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` as line-delimited JSON
+  (one metric family per line, plus a leading ``{"kind": "meta", ...}``
+  header with the dump timestamp and schema version).  This is the format
+  ``repro metrics-dump`` writes and the CI smoke step parses;
+* :func:`render_prometheus` — the same snapshot in the Prometheus text
+  exposition format (``# HELP``/``# TYPE`` plus one sample per series, with
+  ``_bucket``/``_sum``/``_count`` expansion for histograms), so a scrape
+  endpoint or a textfile-collector drop can serve it verbatim.
+
+:class:`PeriodicExporter` drives either on a daemon-thread cadence for
+long-running processes (stream simulators, the retrain loop).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from pathlib import Path
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "render_prometheus",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+    "PeriodicExporter",
+    "METRICS_DUMP_SCHEMA",
+]
+
+#: Schema version stamped into every JSONL dump's meta header.
+METRICS_DUMP_SCHEMA = 1
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a metric name for Prometheus (dots become underscores)."""
+    sanitised = _INVALID_METRIC_CHARS.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = []
+    for key in sorted(merged):
+        label = _INVALID_LABEL_CHARS.sub("_", str(key))
+        value = str(merged[key]).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        parts.append(f'{label}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(snapshot: list[dict]) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    Dotted metric names are sanitised (``serve.cache.hits`` →
+    ``serve_cache_hits``); histograms expand to ``_bucket`` samples with
+    cumulative counts and ``le`` labels (including ``le="+Inf"``), plus
+    ``_sum`` and ``_count``.  The output ends with a newline, as the
+    exposition format requires.
+    """
+    lines: list[str] = []
+    for family in snapshot:
+        name = _prom_name(family["name"])
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        for series in family["series"]:
+            labels = series.get("labels", {})
+            if family["kind"] == "histogram":
+                for bound, cumulative in series["buckets"]:
+                    le = "+Inf" if bound is None else _fmt(bound)
+                    lines.append(
+                        f"{name}_bucket{_prom_labels(labels, {'le': le})} {_fmt(cumulative)}"
+                    )
+                lines.append(f"{name}_sum{_prom_labels(labels)} {_fmt(series['sum'])}")
+                lines.append(f"{name}_count{_prom_labels(labels)} {_fmt(series['count'])}")
+            else:
+                lines.append(f"{name}{_prom_labels(labels)} {_fmt(series['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_jsonl(destination, registry=None) -> int:
+    """Dump the registry snapshot as JSONL; returns the family count.
+
+    Line one is a meta header (``{"kind": "meta", "schema": ..., "ts": ...}``);
+    every following line is one metric family exactly as ``snapshot()``
+    produced it.  ``destination`` is a path or a text file object; ``registry``
+    defaults to the active one.
+    """
+    snapshot = (registry if registry is not None else get_registry()).snapshot()
+    header = {"kind": "meta", "schema": METRICS_DUMP_SCHEMA, "ts": time.time()}
+    if hasattr(destination, "write"):
+        handle = destination
+        close = False
+    else:
+        handle = open(Path(destination), "w")
+        close = True
+    try:
+        handle.write(json.dumps(header) + "\n")
+        for family in snapshot:
+            handle.write(json.dumps(family) + "\n")
+    finally:
+        if close:
+            handle.close()
+    return len(snapshot)
+
+
+def read_metrics_jsonl(source) -> tuple[dict, list[dict]]:
+    """Parse a JSONL metrics dump back into ``(meta_header, families)``.
+
+    Raises ``ValueError`` on an empty file or a missing/foreign header so the
+    CI smoke assertion fails loudly rather than iterating nothing.
+    """
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = Path(source).read_text()
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty metrics dump")
+    header = json.loads(lines[0])
+    if header.get("kind") != "meta":
+        raise ValueError("metrics dump missing meta header line")
+    return header, [json.loads(line) for line in lines[1:]]
+
+
+class PeriodicExporter:
+    """Daemon thread that dumps the registry every ``interval`` seconds.
+
+    Each tick rewrites ``path`` atomically-enough (full rewrite of a small
+    file) in the chosen format (``"jsonl"`` or ``"prometheus"``).  ``stop()``
+    performs one final dump so short-lived processes never lose their last
+    window; it is also usable as a context manager::
+
+        with PeriodicExporter("metrics.jsonl", interval=10.0):
+            serve_forever()
+    """
+
+    def __init__(
+        self,
+        path,
+        interval: float = 15.0,
+        fmt: str = "jsonl",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if fmt not in ("jsonl", "prometheus"):
+            raise ValueError(f"unknown export format {fmt!r}")
+        self.path = Path(path)
+        self.interval = interval
+        self.fmt = fmt
+        self._registry = registry
+        self.exports = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _dump_once(self) -> None:
+        registry = self._registry if self._registry is not None else get_registry()
+        if self.fmt == "prometheus":
+            self.path.write_text(render_prometheus(registry.snapshot()))
+        else:
+            write_metrics_jsonl(self.path, registry)
+        self.exports += 1
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._dump_once()
+
+    def start(self) -> "PeriodicExporter":
+        if self._thread is not None:
+            raise RuntimeError("exporter already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-metrics-exporter", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and write one final dump."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._dump_once()
+
+    def __enter__(self) -> "PeriodicExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

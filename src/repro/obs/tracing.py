@@ -1,0 +1,335 @@
+"""Span-based tracing: context-propagated, parent-linked timing trees.
+
+The second half of the observability substrate.  A *span* is one timed region
+of work (``serve.recommend_many``, ``orchestrate.retrain``); spans opened
+while another span is active become its children, so one request produces a
+tree that decomposes its wall time.  Propagation uses ``contextvars``, so the
+parent link survives generators and threads started with a copied context,
+and two concurrent requests never see each other's spans.
+
+Usage::
+
+    from repro.obs import enable_tracing, span, trace
+
+    tracer = enable_tracing()
+    with trace("serve.request"):          # new root (new trace id)
+        with span("serve.retrieval", k=10):   # child of serve.request
+            ...
+    print(tracer.flamegraph())            # self-contained text summary
+    tracer.export_jsonl("trace.jsonl")    # one finished span per line
+
+Like metrics, tracing is **zero-cost when disabled**: :func:`span` and
+:func:`trace` return a shared no-op context manager when no tracer is
+installed, so instrumented code pays one global read and an empty ``with``
+per site.
+
+Each finished span records wall time (``time.perf_counter``) and process CPU
+time (``time.process_time``) so I/O waits (fsync, worker joins) are visible
+as wall ≫ cpu gaps in the export.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "trace",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "get_tracer",
+    "use_tracer",
+    "flamegraph_from_spans",
+]
+
+
+@dataclass
+class Span:
+    """One timed region of work, parent-linked into a trace tree.
+
+    ``path`` is the tuple of span names from the root down to this span —
+    the aggregation key the flamegraph renderer groups on.  ``wall`` and
+    ``cpu`` are seconds; ``start_ts`` is Unix wall-clock time (for
+    correlating a trace with logs), while internal duration math uses the
+    monotonic ``perf_counter`` clock.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    path: tuple[str, ...]
+    start_ts: float
+    wall: float = 0.0
+    cpu: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    status: str = "ok"  # "ok" | "error"
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (one JSONL line in the export)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "path": list(self.path),
+            "start_ts": self.start_ts,
+            "wall": self.wall,
+            "cpu": self.cpu,
+            "attrs": self.attrs,
+            "status": self.status,
+        }
+
+
+#: The active span of the current logical context (None at top level).
+_CURRENT: ContextVar[Span | None] = ContextVar("repro_obs_span", default=None)
+
+
+class Tracer:
+    """Collects finished spans; renders JSONL exports and text flamegraphs.
+
+    ``max_spans`` bounds memory on long-running processes: once the buffer is
+    full, the oldest finished spans are dropped (and counted in
+    ``dropped_spans``) — tracing must never be the thing that OOMs the
+    service it observes.
+    """
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be positive")
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped_spans = 0
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    # -- span lifecycle ------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, root: bool = False, **attrs):
+        """Open a span named ``name``; nests under the active span unless
+        ``root=True`` (which starts a fresh trace id).  Extra keyword
+        arguments become span attributes.  The span is recorded even when the
+        body raises (with ``status="error"``), then the exception propagates.
+        """
+        parent = None if root else _CURRENT.get()
+        with self._lock:
+            serial = next(self._ids)
+        if parent is None:
+            trace_id, parent_id, path = f"t{serial:06d}", None, (name,)
+        else:
+            trace_id, parent_id, path = parent.trace_id, parent.span_id, parent.path + (name,)
+        current = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=f"s{serial:06d}",
+            parent_id=parent_id,
+            path=path,
+            start_ts=time.time(),
+            attrs=dict(attrs),
+        )
+        token = _CURRENT.set(current)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield current
+        except BaseException:
+            current.status = "error"
+            raise
+        finally:
+            current.wall = time.perf_counter() - wall0
+            current.cpu = time.process_time() - cpu0
+            _CURRENT.reset(token)
+            self._record(current)
+
+    def trace(self, name: str, **attrs):
+        """Open a *root* span: a new trace id regardless of ambient context."""
+        return self.span(name, root=True, **attrs)
+
+    def _record(self, finished: Span) -> None:
+        with self._lock:
+            self.spans.append(finished)
+            overflow = len(self.spans) - self.max_spans
+            if overflow > 0:
+                del self.spans[:overflow]
+                self.dropped_spans += overflow
+
+    # -- introspection / export ----------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans)
+
+    def reset(self) -> None:
+        """Drop every recorded span (the drop counter is kept)."""
+        with self._lock:
+            self.spans.clear()
+
+    def export_jsonl(self, destination) -> int:
+        """Write one JSON object per finished span; returns how many.
+
+        ``destination`` is a path or a text file object.  The format is
+        line-delimited so a long trace can be streamed, grepped, and fed back
+        to ``repro trace`` or :func:`flamegraph_from_spans` without loading
+        everything at once.
+        """
+        with self._lock:
+            rows = [s.as_dict() for s in self.spans]
+        if hasattr(destination, "write"):
+            handle = destination
+            close = False
+        else:
+            handle = open(Path(destination), "w")
+            close = True
+        try:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+        finally:
+            if close:
+                handle.close()
+        return len(rows)
+
+    def flamegraph(self, width: int = 40) -> str:
+        """Self-contained text flamegraph of every recorded span."""
+        with self._lock:
+            rows = [s.as_dict() for s in self.spans]
+        return flamegraph_from_spans(rows, width=width)
+
+
+def flamegraph_from_spans(spans: list[dict], width: int = 40) -> str:
+    """Aggregate span dicts by path and render an indented flame summary.
+
+    Spans sharing a path (e.g. every ``serve.retrieval`` under
+    ``serve.recommend_many``) are merged into one line with a call count;
+    siblings sort by total time.  The bar column is proportional to the share
+    of the total root time, so the hot path is visible without tooling::
+
+        flame: 214 spans, 3 roots, total 1.234s
+        serve.recommend_many          1.100s  89.1%  n=200  self=0.4s  ██████...
+          serve.retrieval             0.700s  56.7%  n=180  ...
+
+    ``self`` is the time not covered by a line's (aggregated) children.
+    """
+    totals: dict[tuple[str, ...], dict] = {}
+    for row in spans:
+        path = tuple(row.get("path") or [row["name"]])
+        entry = totals.setdefault(path, {"wall": 0.0, "cpu": 0.0, "count": 0, "errors": 0})
+        entry["wall"] += float(row.get("wall", 0.0))
+        entry["cpu"] += float(row.get("cpu", 0.0))
+        entry["count"] += 1
+        if row.get("status") == "error":
+            entry["errors"] += 1
+    if not totals:
+        return "flame: no spans recorded"
+    root_total = sum(entry["wall"] for path, entry in totals.items() if len(path) == 1)
+    roots = sum(1 for path in totals if len(path) == 1)
+    lines = [
+        f"flame: {sum(e['count'] for e in totals.values())} spans, "
+        f"{roots} root path(s), total {root_total:.6f}s"
+    ]
+
+    def children_of(path: tuple[str, ...]) -> list[tuple[str, ...]]:
+        return sorted(
+            (p for p in totals if len(p) == len(path) + 1 and p[: len(path)] == path),
+            key=lambda p: -totals[p]["wall"],
+        )
+
+    def render(path: tuple[str, ...]) -> None:
+        entry = totals[path]
+        child_wall = sum(totals[p]["wall"] for p in children_of(path))
+        share = entry["wall"] / root_total if root_total > 0 else 0.0
+        bar = "█" * max(1, round(share * width)) if entry["wall"] > 0 else ""
+        error_note = f"  errors={entry['errors']}" if entry["errors"] else ""
+        lines.append(
+            f"{'  ' * (len(path) - 1)}{path[-1]:<{max(1, 44 - 2 * (len(path) - 1))}} "
+            f"{entry['wall']:>10.6f}s {share:>6.1%}  n={entry['count']:<6d} "
+            f"self={max(0.0, entry['wall'] - child_wall):.6f}s{error_note}  {bar}"
+        )
+        for child in children_of(path):
+            render(child)
+
+    for root in sorted((p for p in totals if len(p) == 1), key=lambda p: -totals[p]["wall"]):
+        render(root)
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Global tracer + zero-cost module-level span()/trace()
+# --------------------------------------------------------------------------- #
+class _NullSpanContext:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+_TRACER: Tracer | None = None
+
+
+def enable_tracing(tracer: Tracer | None = None) -> Tracer:
+    """Install (or keep) a global tracer and return it."""
+    global _TRACER
+    if tracer is not None:
+        _TRACER = tracer
+    elif _TRACER is None:
+        _TRACER = Tracer()
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    """Remove the global tracer; :func:`span`/:func:`trace` become no-ops."""
+    global _TRACER
+    _TRACER = None
+
+
+def tracing_enabled() -> bool:
+    return _TRACER is not None
+
+
+def get_tracer() -> Tracer | None:
+    """The global tracer, or ``None`` while tracing is disabled."""
+    return _TRACER
+
+
+def span(name: str, **attrs):
+    """Context manager timing one region under the active span (no-op when
+    tracing is disabled)."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def trace(name: str, **attrs):
+    """Context manager starting a new trace root (no-op when disabled)."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.trace(name, **attrs)
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None = None):
+    """Scope a tracer to a ``with`` block (test isolation helper)."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer if tracer is not None else Tracer()
+    try:
+        yield _TRACER
+    finally:
+        _TRACER = previous

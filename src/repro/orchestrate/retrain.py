@@ -1,6 +1,6 @@
 """Blue/green retrain controller with journaled, resumable stages.
 
-The控制 loop a production recommender needs once drift monitoring exists:
+The control loop a production recommender needs once drift monitoring exists:
 
 1. **signal** — a :class:`~repro.stream.drift.RefreshSignal` arrives (polled
    from the updater's monitor or submitted explicitly);
@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -37,6 +38,8 @@ from typing import Callable
 import numpy as np
 
 from ..eval.metrics import recall_at_k
+from ..obs.metrics import get_registry
+from ..obs.tracing import span
 from ..reliability.atomicio import atomic_write_bytes
 from ..reliability.faults import fault_point
 from ..reliability.retry import RetryPolicy, retry
@@ -228,6 +231,25 @@ class RetrainOrchestrator:
         )
         self._pending_signals: list[RefreshSignal] = []
         self.ticks = 0
+        # Metric handles bound once (no-ops unless metrics are enabled).
+        registry = get_registry()
+        self._m_ticks = registry.counter("orchestrate.ticks.total", "control-loop ticks")
+        self._m_stage_seconds = {
+            name: registry.histogram(
+                "orchestrate.stage.duration_seconds",
+                "wall time spent in each lifecycle stage",
+                labels={"stage": name},
+            )
+            for name in STAGES
+        }
+        self._m_outcomes = {
+            outcome: registry.counter(
+                "orchestrate.runs.total",
+                "completed retrain runs by terminal outcome",
+                labels={"outcome": outcome},
+            )
+            for outcome in ("promoted", "rejected", "rolled_back")
+        }
 
     # ------------------------------------------------------------------ #
     # Signal intake
@@ -249,6 +271,20 @@ class RetrainOrchestrator:
     def _retry(self, fn, *args, **kwargs):
         return retry(fn, *args, policy=self.config.retry, **kwargs)
 
+    @contextmanager
+    def _observe_stage(self, name: str):
+        """Span + duration histogram around one stage's actual work.
+
+        Entered *after* the journal done-check, so resumed/skipped stages do
+        not pollute the duration distribution with near-zero samples.
+        """
+        with span(f"orchestrate.{name}"):
+            started = time.perf_counter()
+            try:
+                yield
+            finally:
+                self._m_stage_seconds[name].observe(time.perf_counter() - started)
+
     # ------------------------------------------------------------------ #
     # The control loop
     # ------------------------------------------------------------------ #
@@ -262,6 +298,7 @@ class RetrainOrchestrator:
         back before this method returns.
         """
         self.ticks += 1
+        self._m_ticks.inc()
         actions: list[str] = []
         run = self.journal.load()
         if run is not None and run.get("outcome") is None:
@@ -273,13 +310,14 @@ class RetrainOrchestrator:
             run = self._start_run(signal)
             actions.append(f"started {run['run_id']}")
         try:
-            self._stage_retrain(run, actions)
-            self._stage_evaluate(run, actions)
-            if run["stages"]["evaluate"]["promote"]:
-                self._stage_promote(run, actions)
-                self._stage_watch(run, actions)
-            else:
-                self._finish(run, "rejected", actions)
+            with span("orchestrate.tick", run_id=run["run_id"]):
+                self._stage_retrain(run, actions)
+                self._stage_evaluate(run, actions)
+                if run["stages"]["evaluate"]["promote"]:
+                    self._stage_promote(run, actions)
+                    self._stage_watch(run, actions)
+                else:
+                    self._finish(run, "rejected", actions)
         except Exception as error:
             # The journal already records every committed stage; surface the
             # failure but leave the run resumable by the next tick/controller.
@@ -339,26 +377,27 @@ class RetrainOrchestrator:
         stage = run["stages"]["retrain"]
         if stage.get("done"):
             return
-        fault_point("orchestrator.retrain")
-        table = self.base_table
-        exported_through = None
-        if self.updater is not None:
-            table = self._retry(self.updater.export_training_table, self.base_table)
-            exported_through = int(self.updater.applied_seq)
-        candidate_path = self._candidate_path(run)
-        if self.config.use_worker:
-            self._retry(self._retrain_in_worker, table, candidate_path)
-        else:
-            self._retry(
-                lambda: save_snapshot(self.retrain_fn(table), candidate_path)
+        with self._observe_stage("retrain"):
+            fault_point("orchestrator.retrain")
+            table = self.base_table
+            exported_through = None
+            if self.updater is not None:
+                table = self._retry(self.updater.export_training_table, self.base_table)
+                exported_through = int(self.updater.applied_seq)
+            candidate_path = self._candidate_path(run)
+            if self.config.use_worker:
+                self._retry(self._retrain_in_worker, table, candidate_path)
+            else:
+                self._retry(
+                    lambda: save_snapshot(self.retrain_fn(table), candidate_path)
+                )
+            actions.append("retrained")
+            self._commit_stage(
+                run,
+                "retrain",
+                candidate_path=str(candidate_path),
+                exported_through=exported_through,
             )
-        actions.append("retrained")
-        self._commit_stage(
-            run,
-            "retrain",
-            candidate_path=str(candidate_path),
-            exported_through=exported_through,
-        )
 
     def _retrain_in_worker(self, table, candidate_path: Path) -> None:
         """Run the retrain in a disposable fork so a crash or OOM in training
@@ -387,27 +426,28 @@ class RetrainOrchestrator:
         stage = run["stages"]["evaluate"]
         if stage.get("done"):
             return
-        fault_point("orchestrator.evaluate")
-        candidate = self._load(run["stages"]["retrain"]["candidate_path"])
-        incumbent = self._load(run["incumbent_path"])
-        candidate_recall = float(
-            self._evaluate_fn(candidate, self.eval_positives, self.config.k)
-        )
-        incumbent_recall = float(
-            self._evaluate_fn(incumbent, self.eval_positives, self.config.k)
-        )
-        promote = candidate_recall >= self.config.min_recall_ratio * incumbent_recall
-        actions.append(
-            f"evaluated candidate={candidate_recall:.4f} incumbent={incumbent_recall:.4f} "
-            f"-> {'promote' if promote else 'reject'}"
-        )
-        self._commit_stage(
-            run,
-            "evaluate",
-            candidate_recall=candidate_recall,
-            incumbent_recall=incumbent_recall,
-            promote=bool(promote),
-        )
+        with self._observe_stage("evaluate"):
+            fault_point("orchestrator.evaluate")
+            candidate = self._load(run["stages"]["retrain"]["candidate_path"])
+            incumbent = self._load(run["incumbent_path"])
+            candidate_recall = float(
+                self._evaluate_fn(candidate, self.eval_positives, self.config.k)
+            )
+            incumbent_recall = float(
+                self._evaluate_fn(incumbent, self.eval_positives, self.config.k)
+            )
+            promote = candidate_recall >= self.config.min_recall_ratio * incumbent_recall
+            actions.append(
+                f"evaluated candidate={candidate_recall:.4f} incumbent={incumbent_recall:.4f} "
+                f"-> {'promote' if promote else 'reject'}"
+            )
+            self._commit_stage(
+                run,
+                "evaluate",
+                candidate_recall=candidate_recall,
+                incumbent_recall=incumbent_recall,
+                promote=bool(promote),
+            )
 
     def _stage_promote(self, run: dict, actions: list[str]) -> None:
         stage = run["stages"]["promote"]
@@ -419,51 +459,54 @@ class RetrainOrchestrator:
                 self._retry(self.service.swap_snapshot, candidate)
                 actions.append("re-applied journaled promotion")
             return
-        fault_point("orchestrator.promote")
-        candidate = self._load(run["stages"]["retrain"]["candidate_path"])
-        run["candidate_id"] = candidate.snapshot_id
-        self._retry(self.service.swap_snapshot, candidate)
-        actions.append(f"promoted {candidate.snapshot_id}")
-        self._commit_stage(
-            run, "promote", breaker_open_count=int(self.service.breaker.open_count)
-        )
+        with self._observe_stage("promote"):
+            fault_point("orchestrator.promote")
+            candidate = self._load(run["stages"]["retrain"]["candidate_path"])
+            run["candidate_id"] = candidate.snapshot_id
+            self._retry(self.service.swap_snapshot, candidate)
+            actions.append(f"promoted {candidate.snapshot_id}")
+            self._commit_stage(
+                run, "promote", breaker_open_count=int(self.service.breaker.open_count)
+            )
 
     def _stage_watch(self, run: dict, actions: list[str]) -> None:
         stage = run["stages"]["watch"]
         if stage.get("done"):
             return
-        fault_point("orchestrator.watch")
-        live_recall = float(self._retry(self._live_eval_fn, self.service))
-        gate_recall = run["stages"]["evaluate"]["candidate_recall"]
-        breaker_tripped = (
-            self.service.breaker.open_count
-            > run["stages"]["promote"]["breaker_open_count"]
-            or self.service.breaker.state == self.service.breaker.OPEN
-        )
-        regressed = live_recall < self.config.rollback_tolerance * gate_recall
-        if regressed or breaker_tripped:
-            reason = "breaker_trip" if breaker_tripped else "eval_regression"
-            incumbent = self._load(run["incumbent_path"])
-            self._retry(self.service.swap_snapshot, incumbent)
-            actions.append(
-                f"rolled back to {incumbent.snapshot_id} ({reason}, "
-                f"live={live_recall:.4f} vs gate={gate_recall:.4f})"
+        with self._observe_stage("watch"):
+            fault_point("orchestrator.watch")
+            live_recall = float(self._retry(self._live_eval_fn, self.service))
+            gate_recall = run["stages"]["evaluate"]["candidate_recall"]
+            breaker_tripped = (
+                self.service.breaker.open_count
+                > run["stages"]["promote"]["breaker_open_count"]
+                or self.service.breaker.state == self.service.breaker.OPEN
             )
-            self._commit_stage(
-                run, "watch", live_recall=live_recall, rolled_back=True, reason=reason
-            )
-            self._finish(run, "rolled_back", actions)
-        else:
-            actions.append(f"watch passed (live={live_recall:.4f})")
-            self._commit_stage(
-                run, "watch", live_recall=live_recall, rolled_back=False
-            )
-            self._finish(run, "promoted", actions)
+            regressed = live_recall < self.config.rollback_tolerance * gate_recall
+            if regressed or breaker_tripped:
+                reason = "breaker_trip" if breaker_tripped else "eval_regression"
+                incumbent = self._load(run["incumbent_path"])
+                self._retry(self.service.swap_snapshot, incumbent)
+                actions.append(
+                    f"rolled back to {incumbent.snapshot_id} ({reason}, "
+                    f"live={live_recall:.4f} vs gate={gate_recall:.4f})"
+                )
+                self._commit_stage(
+                    run, "watch", live_recall=live_recall, rolled_back=True, reason=reason
+                )
+                self._finish(run, "rolled_back", actions)
+            else:
+                actions.append(f"watch passed (live={live_recall:.4f})")
+                self._commit_stage(
+                    run, "watch", live_recall=live_recall, rolled_back=False
+                )
+                self._finish(run, "promoted", actions)
 
     def _finish(self, run: dict, outcome: str, actions: list[str]) -> None:
         run["outcome"] = outcome
         run["finished_at"] = time.time()
         self.journal.write(run)
+        self._m_outcomes[outcome].inc()
         actions.append(f"outcome={outcome}")
         if self.updater is not None:
             # The run consumed the drift evidence whatever the outcome: a

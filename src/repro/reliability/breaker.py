@@ -24,6 +24,8 @@ import time
 from collections import deque
 from typing import Callable
 
+from ..obs.metrics import get_registry
+
 __all__ = ["BreakerOpenError", "CircuitBreaker"]
 
 
@@ -89,6 +91,32 @@ class CircuitBreaker:
         self._lock = threading.Lock()
         #: Cumulative transition counter, exposed for operational stats.
         self.open_count = 0
+        #: Cumulative gate outcomes, exposed via :meth:`stats`.
+        self.allowed_calls = 0
+        self.refused_calls = 0
+        # Metric handles bound once (no-ops unless metrics are enabled).
+        # Transition counters are labeled by the state entered.
+        registry = get_registry()
+        self._m_state = registry.gauge(
+            "breaker.state", "current breaker state (0=closed, 1=open, 2=half-open)"
+        )
+        self._m_transitions = {
+            state: registry.counter(
+                "breaker.transitions.total", "state transitions", labels={"to": state}
+            )
+            for state in (self.CLOSED, self.OPEN, self.HALF_OPEN)
+        }
+        self._m_refused = registry.counter(
+            "breaker.refused.total", "calls refused while open/half-open saturated"
+        )
+
+    _STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+    def _enter_state(self, state: str) -> None:
+        """Record a transition into ``state`` (call under the lock, after
+        ``self._state`` changed)."""
+        self._m_state.set(self._STATE_CODES[state])
+        self._m_transitions[state].inc()
 
     # ------------------------------------------------------------------ #
     # State
@@ -103,6 +131,7 @@ class CircuitBreaker:
             self._state = self.HALF_OPEN
             self._half_open_inflight = 0
             self._half_open_streak = 0
+            self._enter_state(self.HALF_OPEN)
         return self._state
 
     def failure_rate(self) -> float:
@@ -110,6 +139,29 @@ class CircuitBreaker:
             if not self._outcomes:
                 return 0.0
             return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def stats(self) -> dict:
+        """A point-in-time summary of the breaker's state and counters.
+
+        Returns plain scalars (state name, window fill, failure rate,
+        cumulative opens and gate outcomes) so callers — the metrics wiring,
+        a debug endpoint, a test — never reach into the internals.
+        """
+        with self._lock:
+            state = self._current_state()
+            outcomes = len(self._outcomes)
+            failures = sum(1 for ok in self._outcomes if not ok)
+            return {
+                "state": state,
+                "window_size": outcomes,
+                "failures": failures,
+                "failure_rate": failures / outcomes if outcomes else 0.0,
+                "open_count": self.open_count,
+                "half_open_streak": self._half_open_streak,
+                "half_open_inflight": self._half_open_inflight,
+                "allowed_calls": self.allowed_calls,
+                "refused_calls": self.refused_calls,
+            }
 
     # ------------------------------------------------------------------ #
     # Gate + outcome recording
@@ -119,10 +171,14 @@ class CircuitBreaker:
         with self._lock:
             state = self._current_state()
             if state == self.CLOSED:
+                self.allowed_calls += 1
                 return True
             if state == self.HALF_OPEN and self._half_open_inflight < self.half_open_max_calls:
                 self._half_open_inflight += 1
+                self.allowed_calls += 1
                 return True
+            self.refused_calls += 1
+            self._m_refused.inc()
             return False
 
     def record_success(self) -> None:
@@ -134,6 +190,7 @@ class CircuitBreaker:
                 if self._half_open_streak >= self.half_open_successes:
                     self._state = self.CLOSED
                     self._outcomes.clear()
+                    self._enter_state(self.CLOSED)
                 return
             self._outcomes.append(True)
 
@@ -156,6 +213,7 @@ class CircuitBreaker:
         self._half_open_inflight = 0
         self._half_open_streak = 0
         self.open_count += 1
+        self._enter_state(self.OPEN)
 
     def trip(self) -> None:
         """Force the breaker open (used by operators and the chaos tests)."""
@@ -165,10 +223,15 @@ class CircuitBreaker:
     def reset(self) -> None:
         """Force the breaker closed and clear the window."""
         with self._lock:
+            was = self._state
             self._state = self.CLOSED
             self._outcomes.clear()
             self._half_open_inflight = 0
             self._half_open_streak = 0
+            if was != self.CLOSED:
+                self._enter_state(self.CLOSED)
+            else:
+                self._m_state.set(self._STATE_CODES[self.CLOSED])
 
     # ------------------------------------------------------------------ #
     # Convenience wrapper

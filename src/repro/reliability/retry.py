@@ -14,11 +14,13 @@ delay, not a dead orchestrator.  Two properties matter for this codebase:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import wraps
 from typing import Callable
 
 import numpy as np
+
+from ..obs.metrics import get_registry
 
 __all__ = ["RetryError", "RetryPolicy", "retry", "retryable"]
 
@@ -55,6 +57,27 @@ class RetryPolicy:
     jitter: float = 0.5
     timeout: float | None = None
     seed: int = 0
+    #: Mutable usage accounting (excluded from equality/repr): the frozen
+    #: policy describes the schedule; the dict inside it records what
+    #: :func:`retry` did with it.  Read through :meth:`stats`.
+    _usage: dict = field(
+        default_factory=lambda: {
+            "calls": 0,
+            "attempts": 0,
+            "retries": 0,
+            "successes": 0,
+            "failures": 0,
+            "deadline_exceeded": 0,
+        },
+        compare=False,
+        repr=False,
+    )
+
+    def stats(self) -> dict:
+        """Cumulative usage counters for every :func:`retry` run under this
+        policy: calls started, attempts made, backoff retries taken, terminal
+        successes/failures, and deadline cut-offs (a subset of failures)."""
+        return dict(self._usage)
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -96,26 +119,44 @@ def retry(
     policy = policy or RetryPolicy()
     delays = policy.delays()
     deadline = None if policy.timeout is None else clock() + policy.timeout
+    usage = policy._usage
+    usage["calls"] += 1
+    # Not a hot path (retries guard lifecycle steps, not per-request work), so
+    # the registry lookups here cost nothing that matters.
+    registry = get_registry()
+    m_attempts = registry.counter("retry.attempts.total", "retry attempts made")
+    m_failures = registry.counter("retry.failures.total", "retry runs that exhausted the policy")
     last_error: BaseException | None = None
     for attempt in range(policy.attempts):
+        usage["attempts"] += 1
+        m_attempts.inc()
         try:
-            return fn(*args, **kwargs)
+            result = fn(*args, **kwargs)
         except retry_on as error:  # noqa: PERF203 - retry loop by design
             last_error = error
             if attempt == policy.attempts - 1:
                 break
             delay = delays[attempt]
             if deadline is not None and clock() + delay > deadline:
+                usage["failures"] += 1
+                usage["deadline_exceeded"] += 1
+                m_failures.inc()
                 raise RetryError(
                     f"{_name(fn)} failed after {attempt + 1} attempts "
                     f"(deadline of {policy.timeout}s would be exceeded): {error}",
                     last_error=error,
                     attempts=attempt + 1,
                 ) from error
+            usage["retries"] += 1
             if on_retry is not None:
                 on_retry(attempt, error)
             sleep(delay)
+        else:
+            usage["successes"] += 1
+            return result
     assert last_error is not None
+    usage["failures"] += 1
+    m_failures.inc()
     raise RetryError(
         f"{_name(fn)} failed after {policy.attempts} attempts: {last_error}",
         last_error=last_error,

@@ -60,6 +60,7 @@ from .snapshot import (
     SNAPSHOT_FORMAT_VERSION,
     EmbeddingSnapshot,
     SnapshotIntegrityError,
+    active_snapshot_id,
     build_delta_snapshot,
     build_snapshot,
     create_snapshot,
@@ -73,6 +74,7 @@ __all__ = [
     "SnapshotIntegrityError",
     "EmbeddingSnapshot",
     "manifest_path",
+    "active_snapshot_id",
     "build_snapshot",
     "build_delta_snapshot",
     "create_snapshot",

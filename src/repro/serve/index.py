@@ -26,6 +26,7 @@ import numpy as np
 
 from ..cluster import kmeans
 from ..eval.topk import topk_indices
+from ..obs.metrics import exponential_buckets, get_registry
 from .retrieval import PAD_INDEX, exact_topk, gather_csr_rows
 
 __all__ = ["IVFIndex"]
@@ -86,6 +87,21 @@ class IVFIndex:
             self.n_probe = int(n_probe)
             if not 1 <= self.n_probe <= n_cells:
                 raise ValueError("n_probe must be in [1, n_cells]")
+
+        # Metric handles bound once (no-ops unless metrics are enabled).
+        registry = get_registry()
+        self._m_searches = registry.counter("ivf.searches.total", "batched IVF search calls")
+        self._m_probes = registry.histogram(
+            "ivf.probe.count",
+            "cells probed per query in each search",
+            buckets=exponential_buckets(1.0, 2.0, 12),
+        )
+        self._m_cells_scanned = registry.counter(
+            "ivf.cells.scanned.total", "distinct cells scored across searches"
+        )
+        self._m_items_scanned = registry.counter(
+            "ivf.items.scanned.total", "item rows scored across searches (query x cell-size sum)"
+        )
 
         labels = result.labels
         order = np.argsort(labels, kind="stable")
@@ -153,6 +169,8 @@ class IVFIndex:
             raise ValueError("k must be positive")
         n_probe = self._resolve_n_probe(n_probe, queries, k, exclude)
         num_queries = queries.shape[0]
+        self._m_searches.inc()
+        self._m_probes.observe(n_probe)
 
         # Rank cells by centroid inner product (scoring is inner product too).
         centroid_scores = queries @ self.centroids.T
@@ -181,6 +199,8 @@ class IVFIndex:
             items = self.cell_items(cell)
             if items.size == 0:
                 continue
+            self._m_cells_scanned.inc()
+            self._m_items_scanned.inc(len(cell_queries) * items.size)
             scores = queries[cell_queries] @ self.item_embeddings[items].T
             if exclusions is not None:
                 ex_queries, ex_positions = exclusions.get(cell, (None, None))

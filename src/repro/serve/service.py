@@ -24,11 +24,14 @@ process needs on top of raw retrieval:
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import exponential_buckets, get_registry
+from ..obs.tracing import span
 from ..reliability.breaker import CircuitBreaker
 from .retrieval import PAD_INDEX, ExactIndex, Retriever
 from .snapshot import EmbeddingSnapshot
@@ -220,6 +223,28 @@ class RecommendationService:
         self._popularity_provider = popularity_provider
         self._event_log = event_log
         self.breaker = breaker if breaker is not None else CircuitBreaker()
+        # Metric handles are bound once here (no registry lookups on the hot
+        # path); with metrics disabled these are shared no-op instruments.
+        registry = get_registry()
+        self._m_latency = registry.histogram(
+            "serve.request.latency_seconds", "recommend_many wall time per call"
+        )
+        self._m_queries = registry.counter("serve.queries.total", "individual user queries served")
+        self._m_batch_size = registry.histogram(
+            "serve.batch.size",
+            "warm users per batched index search",
+            buckets=exponential_buckets(1.0, 2.0, 12),
+        )
+        self._m_fallbacks = registry.counter(
+            "serve.fallbacks.total", "queries answered from the popularity ranking"
+        )
+        self._m_degraded = registry.counter(
+            "serve.degraded.total", "warm queries degraded by retrieval failure or open breaker"
+        )
+        self._m_retrieval_errors = registry.counter(
+            "serve.retrieval.errors.total", "retrieval calls that raised"
+        )
+        self._m_swaps = registry.counter("serve.snapshot.swaps.total", "hot snapshot swaps")
         self._install(snapshot, index)
 
     # ------------------------------------------------------------------ #
@@ -231,6 +256,17 @@ class RecommendationService:
         self.retriever = Retriever(snapshot, self.index, mask_train=self.mask_train)
         order = np.argsort(-snapshot.item_popularity.astype(np.float64), kind="stable")
         self._popularity_order = order.astype(np.int64)
+        # Cache hit/miss series are *labeled by snapshot version* (rather than
+        # reset on swap): per-snapshot series keep the history of the previous
+        # artifact while the cache itself starts cold for the new one.
+        registry = get_registry()
+        labels = {"snapshot": snapshot.snapshot_id}
+        self._m_cache_hits = registry.counter(
+            "serve.cache.hits.total", "LRU result-cache hits", labels=labels
+        )
+        self._m_cache_misses = registry.counter(
+            "serve.cache.misses.total", "LRU result-cache misses", labels=labels
+        )
 
     def swap_snapshot(self, snapshot: EmbeddingSnapshot, index=None) -> None:
         """Atomically replace the serving snapshot.
@@ -247,6 +283,7 @@ class RecommendationService:
             # snapshot/index must not keep refusing traffic to the new one.
             self.breaker.reset()
             self.stats.snapshot_swaps += 1
+            self._m_swaps.inc()
 
     @property
     def cache(self) -> LRUCache:
@@ -355,6 +392,7 @@ class RecommendationService:
         items = order[:k]
         scores = popularity[items].astype(np.float64)
         self.stats.fallbacks += 1
+        self._m_fallbacks.inc()
         return Recommendation(
             user_id=int(user_id),
             items=items.copy(),
@@ -377,39 +415,53 @@ class RecommendationService:
         if k <= 0:
             raise ValueError("k must be positive")
         user_ids = [int(user) for user in np.atleast_1d(np.asarray(user_ids, dtype=np.int64))]
-        with self._lock:
+        started = time.perf_counter()
+        with self._lock, span("serve.recommend_many", users=len(user_ids), k=k):
             results: dict[int, Recommendation] = {}
             warm: list[int] = []
             queued = set()
+            # Cache hits/misses are counted per batch, not per user: one
+            # locked inc() per distinct user measurably dents throughput.
+            cache_hits = cache_misses = 0
             for user in user_ids:
                 if user in results or user in queued:
                     continue
                 cached = self._cache.get((user, k))
                 if cached is not None:
+                    cache_hits += 1
                     results[user] = cached
-                elif self._is_cold(user):
-                    results[user] = self._popularity_fallback(user, k)
                 else:
-                    warm.append(user)
-                    queued.add(user)
+                    cache_misses += 1
+                    if self._is_cold(user):
+                        results[user] = self._popularity_fallback(user, k)
+                    else:
+                        warm.append(user)
+                        queued.add(user)
+            if cache_hits:
+                self._m_cache_hits.inc(cache_hits)
+            if cache_misses:
+                self._m_cache_misses.inc(cache_misses)
             if warm:
                 batch = np.asarray(warm, dtype=np.int64)
                 rows = None
                 if self.breaker.allow():
                     try:
-                        rows = self.retriever.topk_for_users(batch, k)
+                        with span("serve.retrieval", users=len(warm)):
+                            rows = self.retriever.topk_for_users(batch, k)
                     except Exception:
                         # Index or embedding failure: feed the breaker and fall
                         # through to the degraded path — the service answers
                         # every query even while retrieval is on fire.
                         self.breaker.record_failure()
                         self.stats.retrieval_errors += 1
+                        self._m_retrieval_errors.inc()
                     else:
                         self.breaker.record_success()
                 if rows is not None:
                     indices, scores = rows
                     self.stats.batches += 1
                     self.stats.batched_queries += len(warm)
+                    self._m_batch_size.observe(len(warm))
                     for row, user in enumerate(warm):
                         valid = indices[row] != PAD_INDEX
                         recommendation = Recommendation(
@@ -425,9 +477,12 @@ class RecommendationService:
                     # Breaker open or retrieval failed: popularity fallback,
                     # uncached so recovery serves real results immediately.
                     self.stats.degraded_queries += len(warm)
+                    self._m_degraded.inc(len(warm))
                     for user in warm:
                         results[user] = self._popularity_fallback(user, k)
             self.stats.queries += len(user_ids)
+            self._m_queries.inc(len(user_ids))
+            self._m_latency.observe(time.perf_counter() - started)
             return [results[user] for user in user_ids]
 
     # ------------------------------------------------------------------ #

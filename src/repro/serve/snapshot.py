@@ -35,6 +35,7 @@ __all__ = [
     "save_snapshot",
     "load_snapshot",
     "manifest_path",
+    "active_snapshot_id",
 ]
 
 #: Bump when the on-disk layout changes; loaders reject unknown major versions.
@@ -300,6 +301,32 @@ def manifest_path(path: str | Path) -> Path:
     """Sidecar manifest location for a snapshot at ``path``."""
     path = Path(path)
     return path.with_name(path.name + ".manifest.json")
+
+
+def active_snapshot_id(directory: str | Path = ".") -> str | None:
+    """The id of the most recently published snapshot in ``directory``.
+
+    Scans the directory's sidecar manifests (``*.manifest.json``), picks the
+    newest by modification time and returns its recorded ``snapshot_id``.
+    Returns ``None`` when there is no readable manifest — this is a display
+    helper (``repro --version`` uses it to report the snapshot context it is
+    running in), so unreadable or foreign files are skipped, never fatal.
+    """
+    directory = Path(directory)
+    best: tuple[float, str] | None = None
+    try:
+        manifests = list(directory.glob("*.manifest.json"))
+    except OSError:
+        return None
+    for manifest in manifests:
+        try:
+            stamp = manifest.stat().st_mtime
+            snapshot_id = json.loads(manifest.read_text()).get("snapshot_id")
+        except (OSError, json.JSONDecodeError):
+            continue
+        if snapshot_id and (best is None or stamp > best[0]):
+            best = (stamp, str(snapshot_id))
+    return None if best is None else best[1]
 
 
 def _array_digest(array: np.ndarray) -> str:

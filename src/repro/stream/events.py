@@ -38,6 +38,7 @@ import struct
 import threading
 import warnings
 import zlib
+from time import perf_counter as _perf_counter
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -45,6 +46,7 @@ from typing import Iterator
 import numpy as np
 
 from ..data.interactions import group_by_key
+from ..obs.metrics import get_registry
 from ..reliability.faults import fault_point, faulty_write
 
 __all__ = ["InteractionEvent", "EventBatch", "EventLog", "WalCorruptionWarning"]
@@ -169,6 +171,17 @@ class EventLog:
         self._path = None if path is None else Path(path)
         self._fsync = bool(fsync)
         self._file = None
+        # Metric handles bound before _recover() so recovery truncations are
+        # counted too (no-ops unless metrics are enabled).
+        registry = get_registry()
+        self._m_appended = registry.counter("wal.events.appended.total", "events accepted by the log")
+        self._m_append_latency = registry.histogram(
+            "wal.append.latency_seconds", "append/extend commit wall time (frame + fsync + columns)"
+        )
+        self._m_fsyncs = registry.counter("wal.fsync.total", "os.fsync calls on the WAL file")
+        self._m_truncations = registry.counter(
+            "wal.recovery.truncations.total", "corrupt tails dropped during WAL recovery"
+        )
         if self._path is not None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
             self._recover()
@@ -250,10 +263,12 @@ class EventLog:
                 WalCorruptionWarning,
                 stacklevel=3,
             )
+            self._m_truncations.inc()
             self._file.truncate(good_end)
             self._file.flush()
             if self._fsync:
                 os.fsync(self._file.fileno())
+                self._m_fsyncs.inc()
         self._file.seek(good_end)
 
     def _commit_frames(self, frames: bytes) -> None:
@@ -269,6 +284,7 @@ class EventLog:
         if self._fsync:
             fault_point("wal.fsync")
             os.fsync(self._file.fileno())
+            self._m_fsyncs.inc()
 
     def sync(self) -> None:
         """Force an fsync of the WAL file (no-op for in-memory logs)."""
@@ -276,6 +292,7 @@ class EventLog:
             if self._file is not None:
                 self._file.flush()
                 os.fsync(self._file.fileno())
+                self._m_fsyncs.inc()
 
     def close(self) -> None:
         """Close the WAL file handle; the in-memory view stays readable."""
@@ -337,6 +354,7 @@ class EventLog:
         """Record one interaction; returns the event with its assigned seq."""
         if user_id < 0 or item_id < 0:
             raise ValueError("user_id and item_id must be non-negative")
+        started = _perf_counter()
         with self._lock:
             self._ensure_capacity(1)
             self._commit_frames(_frame(user_id, item_id, timestamp, weight))
@@ -346,6 +364,8 @@ class EventLog:
             self._timestamps[seq] = timestamp
             self._weights[seq] = weight
             self._size += 1
+        self._m_appended.inc()
+        self._m_append_latency.observe(_perf_counter() - started)
         return InteractionEvent(seq, int(user_id), int(item_id), float(timestamp), float(weight))
 
     def extend(
@@ -369,6 +389,7 @@ class EventLog:
         weights = np.ones(count) if weights is None else np.asarray(weights, dtype=np.float64)
         if timestamps.shape != user_ids.shape or weights.shape != user_ids.shape:
             raise ValueError("timestamps and weights must match user_ids in length")
+        started = _perf_counter()
         with self._lock:
             self._ensure_capacity(count)
             if self._file is not None and count:
@@ -386,6 +407,8 @@ class EventLog:
             self._timestamps[start:stop] = timestamps
             self._weights[start:stop] = weights
             self._size = stop
+        self._m_appended.inc(count)
+        self._m_append_latency.observe(_perf_counter() - started)
         return start, stop
 
     # ------------------------------------------------------------------ #

@@ -26,11 +26,14 @@ every cell assignment stays valid, and only the user side changed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..data.interactions import group_by_key
+from ..obs.metrics import get_registry
+from ..obs.tracing import span
 from ..serve.snapshot import EmbeddingSnapshot, build_delta_snapshot
 from .drift import DriftConfig, DriftMonitor, RefreshSignal
 from .events import EventLog
@@ -248,6 +251,24 @@ class StreamingUpdater:
         )
         if getattr(service, "event_log", None) is None:
             service.attach_event_log(log)
+        # Metric handles bound once (no-ops unless metrics are enabled).
+        registry = get_registry()
+        self._m_cycles = registry.counter("stream.cycles.total", "update cycles applied")
+        self._m_events = registry.counter(
+            "stream.events.applied.total", "events drained by update cycles"
+        )
+        self._m_folds = registry.counter("stream.users.folded.total", "user fold-in solves")
+        self._m_events_rate = registry.gauge(
+            "stream.events.per_second", "events/sec of the most recent cycle"
+        )
+        self._m_cycle_latency = registry.histogram(
+            "stream.cycle.latency_seconds", "apply() wall time"
+        )
+        self._m_residual = registry.histogram(
+            "stream.foldin.residual",
+            "per-user fold-in residuals",
+            buckets=tuple(2.0 ** e for e in range(-20, 8)),
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -281,11 +302,21 @@ class StreamingUpdater:
         if max_events is not None:
             stop = min(stop, start + int(max_events))
         mark = self.monitor.checkpoint()
+        started = time.perf_counter()
         try:
-            return self._apply_window(start, stop)
+            with span("stream.apply", start=start, stop=stop):
+                report = self._apply_window(start, stop)
         except BaseException:
             self.monitor.rollback(mark)
             raise
+        elapsed = time.perf_counter() - started
+        self._m_cycles.inc()
+        self._m_cycle_latency.observe(elapsed)
+        self._m_events.inc(report.events_applied)
+        self._m_folds.inc(report.users_folded_in)
+        if report.events_applied:
+            self._m_events_rate.set(report.events_applied / elapsed if elapsed > 0 else 0.0)
+        return report
 
     def _apply_window(self, start: int, stop: int) -> UpdateReport:
         snapshot: EmbeddingSnapshot = self.service.snapshot
@@ -357,6 +388,7 @@ class StreamingUpdater:
                 gram=self._item_gram,
             )
             self.monitor.observe_residual(result.residual, count=len(new_items))
+            self._m_residual.observe(result.residual)
             fold_ins.append(result)
             new_pair_blocks.append(
                 np.column_stack([np.full(len(new_items), user, dtype=np.int64), new_items])

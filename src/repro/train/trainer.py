@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -12,6 +13,7 @@ from ..data.sampling import BprSampler
 from ..eval.protocol import EvaluationResult, RankingEvaluator
 from ..models.base import BaseRecommender
 from ..nn import Adam, CompiledStep, compile as nn_compile
+from ..obs.profile import OpProfiler
 from .config import TrainingConfig
 from .early_stopping import EarlyStopping
 
@@ -58,13 +60,32 @@ class Trainer:
         self.evaluator = RankingEvaluator(self.dataset, ks=self.config.eval_ks)
         self.compiled_step: CompiledStep | None = None
         self._step_params = list(self.optimizer.parameters)
+        self.profiler: OpProfiler | None = None
         if self.config.compile and self.model.supports_compiled_step():
             self.compiled_step = nn_compile(self.model.build_step_fn())
+
+    def enable_profiling(self, profiler: OpProfiler | None = None) -> OpProfiler:
+        """Attach a per-op profiler to the training loop; returns it.
+
+        Compiled replays record each primitive under ``<op>.fwd``/``<op>.bwd``
+        (via :meth:`CompiledStep.enable_profiling`); the trainer adds the work
+        the tape cannot see — ``sampler.next``, ``step.inputs`` (input
+        staging) and ``optimizer.step`` — so the profile's summed time
+        accounts for nearly all of an epoch's wall clock.
+        """
+        if profiler is None:
+            profiler = self.profiler if self.profiler is not None else OpProfiler()
+        self.profiler = profiler
+        if self.compiled_step is not None:
+            self.compiled_step.enable_profiling(profiler)
+        return profiler
 
     def train_epoch(self) -> float:
         """One pass over the training interactions; returns the mean batch loss."""
         self.model.train()
         self.model.on_epoch_start()
+        if self.profiler is not None:
+            return self._train_epoch_profiled()
         losses: list[float] = []
         if self.compiled_step is not None:
             for batch in self.sampler.epoch():
@@ -79,6 +100,43 @@ class Trainer:
                 loss.backward()
                 self.optimizer.step()
                 losses.append(loss.item())
+        return float(np.mean(losses)) if losses else 0.0
+
+    def _train_epoch_profiled(self) -> float:
+        """The ``train_epoch`` body with stage timing into ``self.profiler``.
+
+        Kept as a separate method so the unprofiled loop carries no timing
+        branches.  Iterates the sampler manually to bill batch production
+        separately from the step itself.
+        """
+        profiler = self.profiler
+        perf = time.perf_counter
+        losses: list[float] = []
+        compiled = self.compiled_step
+        batches = iter(self.sampler.epoch())
+        while True:
+            start = perf()
+            batch = next(batches, None)
+            profiler.add("sampler.next", perf() - start)
+            if batch is None:
+                break
+            if compiled is not None:
+                start = perf()
+                inputs = self.model.make_step_inputs(batch)
+                profiler.add("step.inputs", perf() - start)
+                losses.append(compiled(self._step_params, inputs))
+            else:
+                start = perf()
+                self.optimizer.zero_grad()
+                loss = self.model.loss(batch)
+                profiler.add("eager.forward", perf() - start)
+                start = perf()
+                loss.backward()
+                profiler.add("eager.backward", perf() - start)
+                losses.append(loss.item())
+            start = perf()
+            self.optimizer.step()
+            profiler.add("optimizer.step", perf() - start)
         return float(np.mean(losses)) if losses else 0.0
 
     def fit(self) -> TrainingHistory:

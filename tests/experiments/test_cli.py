@@ -269,3 +269,99 @@ class TestRetrainLoopCommand:
     def test_retrain_loop_requires_directory(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["retrain-loop"])
+
+
+class TestObservabilityCommands:
+    @pytest.fixture(scope="class")
+    def snapshot_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs_snapshots") / "obs_model.npz"
+        assert main(
+            [
+                "export-snapshot",
+                "-o",
+                str(path),
+                "--backbone",
+                "bpr-mf",
+                "--variant",
+                "baseline",
+                "--dataset-scale",
+                "0.15",
+                "--epochs",
+                "1",
+            ]
+        ) == 0
+        return path
+
+    @pytest.fixture(autouse=True)
+    def _reset_observability(self):
+        # `recommend --metrics-dump/--trace-dump` flips the process-global
+        # switches; a real CLI process exits right after, but in-process test
+        # invocations must not leak enabled state into other tests.
+        yield
+        from repro.obs import disable, disable_tracing
+
+        disable()
+        disable_tracing()
+
+    def test_recommend_metrics_dump_is_parseable(self, snapshot_path, tmp_path, capsys):
+        from repro.obs import read_metrics_jsonl
+
+        dump = tmp_path / "metrics.jsonl"
+        assert main(
+            ["recommend", "-s", str(snapshot_path), "-u", "0", "-k", "5",
+             "--metrics-dump", str(dump)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        header, families = read_metrics_jsonl(dump)
+        assert header["schema"] == 1
+        names = {family["name"] for family in families}
+        assert "serve.queries.total" in names
+        assert "serve.request.latency_seconds" in names
+        queries = next(f for f in families if f["name"] == "serve.queries.total")
+        assert queries["series"][0]["value"] == 1
+
+    def test_metrics_dump_command_renders_all_formats(self, snapshot_path, tmp_path, capsys):
+        dump = tmp_path / "metrics.jsonl"
+        main(["recommend", "-s", str(snapshot_path), "-u", "0", "--metrics-dump", str(dump)])
+        capsys.readouterr()
+        assert main(["metrics-dump", "-i", str(dump)]) == 0
+        assert "serve.queries.total" in capsys.readouterr().out
+        assert main(["metrics-dump", "-i", str(dump), "--format", "prometheus"]) == 0
+        assert "serve_queries_total 1" in capsys.readouterr().out
+        assert main(["metrics-dump", "-i", str(dump), "--format", "json"]) == 0
+        import json as json_module
+
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["meta"]["kind"] == "meta"
+
+    def test_trace_roundtrip_renders_flamegraph(self, snapshot_path, tmp_path, capsys):
+        spans = tmp_path / "spans.jsonl"
+        assert main(
+            ["recommend", "-s", str(snapshot_path), "-u", "0", "--trace-dump", str(spans)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "-i", str(spans)]) == 0
+        rendered = capsys.readouterr().out
+        assert "serve.recommend_many" in rendered
+        assert "flame:" in rendered
+
+    def test_version_includes_active_snapshot_in_context(
+        self, snapshot_path, monkeypatch, capsys
+    ):
+        from repro.serve import load_snapshot
+
+        expected = load_snapshot(snapshot_path).snapshot_id
+        monkeypatch.chdir(snapshot_path.parent)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert f"repro {__version__}" in output
+        assert f"(snapshot {expected})" in output
+
+    def test_version_plain_outside_snapshot_context(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        output = capsys.readouterr().out.strip()
+        assert output == f"repro {__version__}"

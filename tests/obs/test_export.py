@@ -1,0 +1,120 @@
+"""Exporters: Prometheus text rendering, JSONL dumps, the periodic thread."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import (
+    METRICS_DUMP_SCHEMA,
+    PeriodicExporter,
+    read_metrics_jsonl,
+    render_prometheus,
+    write_metrics_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("serve.queries.total", "queries answered").inc(5)
+    registry.gauge("breaker.state").set(1)
+    registry.counter("serve.cache.hits.total", labels={"snapshot": "ab12"}).inc(3)
+    histogram = registry.histogram("serve.latency_seconds", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(2.0)
+    return registry
+
+
+class TestPrometheus:
+    def test_render_structure(self, registry):
+        text = render_prometheus(registry.snapshot())
+        assert text.endswith("\n")
+        assert "# HELP serve_queries_total queries answered" in text
+        assert "# TYPE serve_queries_total counter" in text
+        assert "serve_queries_total 5" in text
+        assert "breaker_state 1" in text
+
+    def test_labels_rendered_sorted_and_escaped(self, registry):
+        registry.counter("m", labels={"b": 'say "hi"', "a": 1}).inc()
+        text = render_prometheus(registry.snapshot())
+        assert 'm{a="1",b="say \\"hi\\""} 1' in text
+
+    def test_histogram_expansion(self, registry):
+        text = render_prometheus(registry.snapshot())
+        assert 'serve_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'serve_latency_seconds_bucket{le="1"} 1' in text
+        assert 'serve_latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "serve_latency_seconds_count 2" in text
+        assert "serve_latency_seconds_sum 2.05" in text
+
+    def test_leading_digit_names_prefixed(self):
+        registry = MetricsRegistry()
+        registry.counter("0weird").inc()
+        assert "_0weird 1" in render_prometheus(registry.snapshot())
+
+
+class TestJsonl:
+    def test_write_read_roundtrip(self, registry, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        families_written = write_metrics_jsonl(path, registry)
+        header, families = read_metrics_jsonl(path)
+        assert header["schema"] == METRICS_DUMP_SCHEMA
+        assert header["kind"] == "meta"
+        assert len(families) == families_written == 4
+        assert families == registry.snapshot()
+
+    def test_write_to_file_object_and_active_registry(self, registry):
+        buffer = io.StringIO()
+        with use_registry(registry):
+            write_metrics_jsonl(buffer)
+        lines = buffer.getvalue().splitlines()
+        assert json.loads(lines[0])["kind"] == "meta"
+        assert len(lines) == 5
+
+    def test_read_rejects_empty_dump(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_metrics_jsonl(path)
+
+    def test_read_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "headerless.jsonl"
+        path.write_text('{"name": "x", "kind": "counter", "series": []}\n')
+        with pytest.raises(ValueError, match="meta header"):
+            read_metrics_jsonl(path)
+
+
+class TestPeriodicExporter:
+    def test_stop_writes_final_dump(self, registry, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        exporter = PeriodicExporter(path, interval=60.0, registry=registry)
+        exporter.start()
+        exporter.stop()
+        assert exporter.exports >= 1
+        header, families = read_metrics_jsonl(path)
+        assert len(families) == 4
+
+    def test_context_manager_and_prometheus_format(self, registry, tmp_path):
+        path = tmp_path / "metrics.prom"
+        with PeriodicExporter(path, interval=60.0, fmt="prometheus", registry=registry):
+            pass
+        assert "serve_queries_total 5" in path.read_text()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            PeriodicExporter(tmp_path / "x", interval=0.0)
+        with pytest.raises(ValueError):
+            PeriodicExporter(tmp_path / "x", fmt="xml")
+
+    def test_double_start_rejected(self, registry, tmp_path):
+        exporter = PeriodicExporter(tmp_path / "m.jsonl", interval=60.0, registry=registry)
+        exporter.start()
+        try:
+            with pytest.raises(RuntimeError):
+                exporter.start()
+        finally:
+            exporter.stop()

@@ -1,0 +1,163 @@
+"""Metrics registry: instruments, labeled series, snapshots, null path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    enabled,
+    exponential_buckets,
+    get_registry,
+    use_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc(1)
+        assert gauge.value == 8.0
+
+    def test_exponential_buckets_geometric(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    @pytest.mark.parametrize("args", [(0.0, 2.0, 4), (1.0, 1.0, 4), (1.0, 2.0, 0)])
+    def test_exponential_buckets_validation(self, args):
+        with pytest.raises(ValueError):
+            exponential_buckets(*args)
+
+    def test_histogram_counts_and_overflow(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [1, 1, 1]  # <=1, <=10, +Inf
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(55.5)
+        assert histogram.mean == pytest.approx(18.5)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_quantile_interpolates(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            histogram.observe(1.5)
+        # All mass in the (1, 2] bucket: every quantile lands inside it.
+        assert 1.0 <= histogram.quantile(0.5) <= 2.0
+        assert histogram.quantile(0.0) >= 0.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_quantile_overflow_reports_last_bound(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 1.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_series(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests.total")
+        second = registry.counter("requests.total")
+        assert first is second
+
+    def test_labels_make_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", labels={"snapshot": "a"})
+        b = registry.counter("hits", labels={"snapshot": "b"})
+        assert a is not b
+        a.inc()
+        assert registry.value("hits", labels={"snapshot": "a"}) == 1
+        assert registry.value("hits", labels={"snapshot": "b"}) == 0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", labels={"x": 1, "y": 2})
+        b = registry.counter("m", labels={"y": 2, "x": 1})
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("queue.depth")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("queue.depth")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count", "help text").inc(2)
+        registry.histogram("a.latency", buckets=(1.0, 2.0)).observe(1.5)
+        snapshot = registry.snapshot()
+        assert [family["name"] for family in snapshot] == ["a.latency", "b.count"]
+        histogram = snapshot[0]["series"][0]
+        assert histogram["count"] == 1
+        # Cumulative buckets with a trailing [None, total] for +Inf.
+        assert histogram["buckets"] == [[1.0, 0], [2.0, 1], [None, 1]]
+        counter = snapshot[1]["series"][0]
+        assert counter == {"labels": {}, "value": 2.0}
+        assert snapshot[1]["help"] == "help text"
+
+    def test_value_and_get_for_missing_series(self):
+        registry = MetricsRegistry()
+        assert registry.get("nope") is None
+        assert registry.value("nope", default=7.0) == 7.0
+
+    def test_len_counts_series(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.counter("b", labels={"x": 1})
+        registry.counter("b", labels={"x": 2})
+        assert len(registry) == 3
+
+
+class TestGlobalState:
+    def test_disabled_returns_shared_noops(self):
+        disable()
+        try:
+            registry = get_registry()
+            assert isinstance(registry, NullRegistry)
+            assert registry.counter("a") is registry.counter("b")
+            registry.counter("a").inc()
+            registry.histogram("h").observe(1.0)
+            assert registry.snapshot() == []
+            assert not enabled()
+        finally:
+            disable()
+
+    def test_enable_accumulates_into_one_registry(self):
+        disable()
+        try:
+            first = enable()
+            second = enable()
+            assert first is second
+            assert enabled()
+        finally:
+            disable()
+
+    def test_use_registry_restores_previous_state(self):
+        disable()
+        with use_registry() as registry:
+            registry.counter("inner").inc()
+            assert get_registry() is registry
+        assert isinstance(get_registry(), NullRegistry)

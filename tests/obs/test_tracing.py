@@ -1,0 +1,170 @@
+"""Span tracing: parent links, context propagation, exports, flamegraphs."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    Tracer,
+    disable_tracing,
+    flamegraph_from_spans,
+    get_tracer,
+    span,
+    trace,
+    tracing_enabled,
+    use_tracer,
+)
+
+
+class TestSpanTree:
+    def test_child_links_to_parent(self):
+        tracer = Tracer()
+        with tracer.trace("request") as parent:
+            with tracer.span("retrieval") as child:
+                pass
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == parent.trace_id
+        assert child.path == ("request", "retrieval")
+        assert parent.path == ("request",)
+
+    def test_root_span_has_no_parent(self):
+        tracer = Tracer()
+        with tracer.trace("outer"):
+            with tracer.trace("inner") as inner:
+                pass
+        assert inner.parent_id is None
+        assert inner.path == ("inner",)
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.trace("request") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == parent.span_id
+
+    def test_children_recorded_before_parent(self):
+        tracer = Tracer()
+        with tracer.trace("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.trace("boom"):
+                raise RuntimeError("nope")
+        assert len(tracer) == 1
+        assert tracer.spans[0].status == "error"
+        assert tracer.spans[0].wall >= 0.0
+
+    def test_attrs_recorded(self):
+        tracer = Tracer()
+        with tracer.trace("request", users=3, k=10) as current:
+            pass
+        assert current.attrs == {"users": 3, "k": 10}
+
+    def test_wall_and_cpu_measured(self):
+        tracer = Tracer()
+        with tracer.trace("work"):
+            sum(range(10_000))
+        recorded = tracer.spans[0]
+        assert recorded.wall > 0.0
+        assert recorded.cpu >= 0.0
+
+
+class TestBoundsAndExport:
+    def test_max_spans_drops_oldest(self):
+        tracer = Tracer(max_spans=2)
+        for name in ("a", "b", "c"):
+            with tracer.trace(name):
+                pass
+        assert [s.name for s in tracer.spans] == ["b", "c"]
+        assert tracer.dropped_spans == 1
+
+    def test_max_spans_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_export_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.trace("request"):
+            with tracer.span("child"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {row["name"] for row in rows} == {"request", "child"}
+        assert all(
+            set(row) >= {"name", "trace_id", "span_id", "path", "wall", "cpu", "status"}
+            for row in rows
+        )
+
+    def test_export_to_file_object(self):
+        tracer = Tracer()
+        with tracer.trace("x"):
+            pass
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 1
+        assert json.loads(buffer.getvalue())["name"] == "x"
+
+    def test_reset_clears_spans_keeps_drop_counter(self):
+        tracer = Tracer(max_spans=1)
+        for _ in range(3):
+            with tracer.trace("t"):
+                pass
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.dropped_spans == 2
+
+
+class TestFlamegraph:
+    def test_aggregates_by_path(self):
+        spans = [
+            {"name": "req", "path": ["req"], "wall": 1.0, "cpu": 0.5, "status": "ok"},
+            {"name": "req", "path": ["req"], "wall": 1.0, "cpu": 0.5, "status": "ok"},
+            {"name": "db", "path": ["req", "db"], "wall": 1.5, "cpu": 0.1, "status": "error"},
+        ]
+        rendered = flamegraph_from_spans(spans)
+        assert "3 spans, 1 root path(s)" in rendered
+        assert "n=2" in rendered  # both "req" spans merged onto one line
+        assert "errors=1" in rendered
+        # Self time of the root excludes the aggregated child wall.
+        assert "self=0.500000s" in rendered
+
+    def test_empty_trace(self):
+        assert flamegraph_from_spans([]) == "flame: no spans recorded"
+
+    def test_tracer_flamegraph_end_to_end(self):
+        tracer = Tracer()
+        with tracer.trace("serve"):
+            with tracer.span("retrieval"):
+                pass
+        rendered = tracer.flamegraph(width=10)
+        lines = rendered.splitlines()
+        assert lines[1].startswith("serve")
+        assert lines[2].startswith("  retrieval")
+
+
+class TestGlobalState:
+    def test_disabled_span_is_shared_noop(self):
+        disable_tracing()
+        assert not tracing_enabled()
+        assert span("a") is span("b") is trace("c")
+        with span("anything") as current:
+            assert current is None
+        assert get_tracer() is None
+
+    def test_use_tracer_scopes_and_restores(self):
+        disable_tracing()
+        with use_tracer() as tracer:
+            assert tracing_enabled()
+            with trace("scoped"):
+                pass
+            assert len(tracer) == 1
+        assert not tracing_enabled()

@@ -153,3 +153,49 @@ class TestCallWrapper:
     def test_rejects_bad_parameters(self, clock, kwargs):
         with pytest.raises(ValueError):
             make_breaker(clock, **kwargs)
+
+
+class TestStats:
+    def test_stats_snapshot_of_fresh_breaker(self, clock):
+        stats = make_breaker(clock).stats()
+        assert stats == {
+            "state": CircuitBreaker.CLOSED,
+            "window_size": 0,
+            "failures": 0,
+            "failure_rate": 0.0,
+            "open_count": 0,
+            "half_open_streak": 0,
+            "half_open_inflight": 0,
+            "allowed_calls": 0,
+            "refused_calls": 0,
+        }
+
+    def test_stats_track_gate_outcomes_and_opens(self, clock):
+        breaker = make_breaker(clock)
+        breaker.call(lambda: 1)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._boom)
+        stats = breaker.stats()
+        assert stats["state"] == CircuitBreaker.OPEN
+        assert stats["open_count"] == 1
+        assert stats["allowed_calls"] == 4
+        assert stats["window_size"] == 4
+        assert stats["failures"] == 3
+        assert stats["failure_rate"] == pytest.approx(0.75)
+        with pytest.raises(BreakerOpenError):
+            breaker.call(lambda: 1)
+        assert breaker.stats()["refused_calls"] == 1
+
+    def test_stats_reflect_half_open_probe_state(self, clock):
+        breaker = make_breaker(clock)
+        breaker.trip()
+        clock.advance(31.0)
+        assert breaker.allow()
+        stats = breaker.stats()
+        assert stats["state"] == CircuitBreaker.HALF_OPEN
+        assert stats["half_open_inflight"] == 1
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("down")

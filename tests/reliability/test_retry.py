@@ -121,3 +121,65 @@ class TestRetry:
             return calls["n"]
 
         assert sometimes() == 2
+
+
+class TestStats:
+    def test_fresh_policy_reports_zeroes(self):
+        stats = RetryPolicy().stats()
+        assert stats == {
+            "calls": 0,
+            "attempts": 0,
+            "retries": 0,
+            "successes": 0,
+            "failures": 0,
+            "deadline_exceeded": 0,
+        }
+
+    def test_success_after_retries(self):
+        policy = RetryPolicy(attempts=4)
+        retry(Flaky(failures=2), policy=policy, sleep=lambda _: None)
+        stats = policy.stats()
+        assert stats["calls"] == 1
+        assert stats["attempts"] == 3
+        assert stats["retries"] == 2
+        assert stats["successes"] == 1
+        assert stats["failures"] == 0
+
+    def test_exhausted_policy_counts_a_failure(self):
+        policy = RetryPolicy(attempts=2)
+        with pytest.raises(RetryError):
+            retry(Flaky(failures=5), policy=policy, sleep=lambda _: None)
+        stats = policy.stats()
+        assert stats["attempts"] == 2
+        assert stats["failures"] == 1
+        assert stats["successes"] == 0
+        assert stats["deadline_exceeded"] == 0
+
+    def test_deadline_exceeded_is_a_distinct_failure(self):
+        clock = iter([0.0, 100.0, 200.0, 300.0]).__next__
+        policy = RetryPolicy(attempts=5, timeout=0.5)
+        with pytest.raises(RetryError):
+            retry(
+                Flaky(failures=5),
+                policy=policy,
+                sleep=lambda _: None,
+                clock=clock,
+            )
+        stats = policy.stats()
+        assert stats["failures"] == 1
+        assert stats["deadline_exceeded"] == 1
+
+    def test_usage_accumulates_across_runs_and_copies_out(self):
+        policy = RetryPolicy(attempts=3)
+        retry(Flaky(failures=0), policy=policy, sleep=lambda _: None)
+        retry(Flaky(failures=1), policy=policy, sleep=lambda _: None)
+        stats = policy.stats()
+        assert stats["calls"] == 2
+        assert stats["successes"] == 2
+        stats["calls"] = 999  # a copy, not a live view
+        assert policy.stats()["calls"] == 2
+
+    def test_usage_excluded_from_equality(self):
+        a, b = RetryPolicy(attempts=3), RetryPolicy(attempts=3)
+        retry(Flaky(failures=0), policy=a, sleep=lambda _: None)
+        assert a == b

@@ -493,3 +493,73 @@ class TestGracefulDegradation:
         stats = service.stats.as_dict()
         assert stats["degraded_queries"] == 0
         assert stats["retrieval_errors"] == 0
+
+
+class TestCacheMetricsAcrossSwaps:
+    """Hit/miss accounting survives snapshot swaps without mixing versions.
+
+    The cache counters are *labeled by snapshot id*: each snapshot version
+    owns its own hit/miss series, so a swap starts fresh series instead of
+    resetting (and losing) the old version's numbers.
+    """
+
+    @staticmethod
+    def _variant_with_history(snapshot):
+        """A retrained-looking snapshot that keeps every user's train history
+        (so warm users stay warm — and cacheable — after the swap)."""
+        from repro.serve import build_snapshot
+
+        pairs = np.column_stack(
+            [
+                np.repeat(
+                    np.arange(snapshot.num_users), np.diff(snapshot.train_indptr)
+                ),
+                snapshot.train_indices,
+            ]
+        )
+        return build_snapshot(
+            snapshot.user_embeddings + 0.5,
+            snapshot.item_embeddings,
+            train_pairs=pairs,
+            model_name="variant",
+        )
+
+    def test_per_snapshot_series_and_swap_behaviour(self, snapshot):
+        from repro.obs.metrics import use_registry
+
+        with use_registry() as registry:
+            service = RecommendationService(snapshot, default_k=5, cache_size=64)
+            old = {"snapshot": snapshot.snapshot_id}
+            service.recommend(0, k=5)  # miss, fills cache
+            service.recommend(0, k=5)  # hit
+            assert registry.value("serve.cache.misses.total", labels=old) == 1
+            assert registry.value("serve.cache.hits.total", labels=old) == 1
+
+            variant = self._variant_with_history(snapshot)
+            service.swap_snapshot(variant)
+            new = {"snapshot": variant.snapshot_id}
+            service.recommend(0, k=5)  # swap cleared the cache: miss on NEW series
+            service.recommend(0, k=5)  # hit on the new series
+            assert registry.value("serve.cache.misses.total", labels=new) == 1
+            assert registry.value("serve.cache.hits.total", labels=new) == 1
+            # The old version's history is preserved, not reset or re-used.
+            assert registry.value("serve.cache.misses.total", labels=old) == 1
+            assert registry.value("serve.cache.hits.total", labels=old) == 1
+            assert registry.value("serve.snapshot.swaps.total") == 1
+
+    def test_swap_back_resumes_the_original_series(self, snapshot):
+        from repro.obs.metrics import use_registry
+
+        with use_registry() as registry:
+            service = RecommendationService(snapshot, default_k=5, cache_size=64)
+            variant = self._variant_with_history(snapshot)
+            labels = {"snapshot": snapshot.snapshot_id}
+            service.recommend(0, k=5)
+            service.swap_snapshot(variant)
+            service.recommend(0, k=5)
+            service.swap_snapshot(snapshot)  # roll back to the original
+            service.recommend(0, k=5)
+            # Counters for the original id accumulated across both tenures:
+            # get-or-create returned the same series after the rollback swap.
+            assert registry.value("serve.cache.misses.total", labels=labels) == 2
+            assert registry.value("serve.snapshot.swaps.total") == 2
