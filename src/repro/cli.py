@@ -218,9 +218,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     retrain_loop.add_argument("--seed", type=int, default=0, help="random seed")
     retrain_loop.add_argument(
+        "--canary-fraction",
+        type=float,
+        default=0.0,
+        help="cohort fraction for the canary stage between evaluate and promote "
+        "(0 disables; e.g. 0.1 shadows 10%% of users to the candidate)",
+    )
+    retrain_loop.add_argument(
+        "--canary-mode",
+        choices=("shadow", "canary"),
+        default="shadow",
+        help="shadow = mirror cohort queries to the candidate off-path; "
+        "canary = actually serve the candidate to the cohort",
+    )
+    retrain_loop.add_argument(
+        "--schedule",
+        default=None,
+        help="cron-style scheduled retrains alongside drift-triggered ones "
+        "('m h dom mon dow', '@hourly', or '@every 30m')",
+    )
+    retrain_loop.add_argument(
+        "--max-cycles",
+        type=int,
+        default=1,
+        help="stop after this many completed retrain cycles (SIGINT always "
+        "drains gracefully: the in-flight stage finishes and journals first)",
+    )
+    retrain_loop.add_argument(
         "--smoke",
         action="store_true",
         help="fast CI configuration (tiny scale) with lifecycle assertions",
+    )
+
+    canary_status_parser = subparsers.add_parser(
+        "canary-status",
+        help="show the canary rollout state recorded in a retrain-loop/"
+        "orchestrator directory (journal + guardrail JSONL)",
+    )
+    canary_status_parser.add_argument(
+        "--directory", "-d", required=True, help="orchestrator run directory"
     )
 
     fold_in = subparsers.add_parser(
@@ -478,6 +514,10 @@ def _command_retrain_loop(args: argparse.Namespace) -> int:
         max_events=args.events,
         min_recall_ratio=args.min_recall_ratio,
         use_worker=args.worker,
+        canary_fraction=args.canary_fraction,
+        canary_mode=args.canary_mode,
+        schedule=args.schedule,
+        max_cycles=args.max_cycles,
     )
     result = run_retrain_loop(config)
     print_table(
@@ -496,7 +536,57 @@ def _command_retrain_loop(args: argparse.Namespace) -> int:
         if result.outcome == "promoted":
             assert result.serving_id != result.incumbent_id, "promotion did not swap"
             assert result.final_recall >= config.min_recall_ratio * result.incumbent_recall
+        if args.canary_fraction > 0:
+            assert result.canary_decision in {"promote", "abort"}, (
+                f"canary stage never reached a verdict "
+                f"(decision={result.canary_decision!r})"
+            )
+            if result.outcome == "aborted":
+                # The serving snapshot may be a *delta* descendant of the
+                # incumbent (streaming fold-in swaps), but an aborted canary
+                # must record the abort and never have promoted the candidate.
+                assert result.canary_decision == "abort"
         print("smoke assertions passed")
+    return 0
+
+
+def _command_canary_status(args: argparse.Namespace) -> int:
+    from .orchestrate import canary_status
+
+    status = canary_status(args.directory)
+    if status["run_id"] is None:
+        print(f"no orchestrator runs recorded in {status['directory']}")
+        return 0
+    stage = status["canary_stage"] or {}
+    rows = [
+        {
+            "run": status["run_id"],
+            "outcome": status["outcome"] or "in flight",
+            "canary": stage.get("decision")
+            or ("in flight" if stage and not stage.get("done") else "-"),
+            "guardrail records": status["guardrail_records"],
+        }
+    ]
+    print_table(rows, title=f"canary status — {status['directory']}")
+    latest = status["latest"]
+    if latest is not None:
+        guardrails = latest["guardrails"]
+        print(
+            f"latest tick {latest['tick']} ({latest['mode']} at "
+            f"{latest['fraction']:.0%}): decision={latest['decision']} "
+            f"[{'; '.join(latest['reasons'])}]"
+        )
+        print(
+            f"guardrails: samples={guardrails['samples']} "
+            f"overlap@k={guardrails['mean_overlap']:.3f} "
+            f"error_rate={guardrails['error_rate']:.3f} "
+            f"degraded_rate={guardrails['degraded_rate']:.3f} "
+            f"latency_ratio={guardrails['latency_ratio']:.2f} "
+            f"mirrors(enq/drop)={guardrails['mirror_enqueued']}/"
+            f"{guardrails['mirror_dropped']}"
+        )
+    elif stage:
+        print("canary stage present but no guardrail records yet")
     return 0
 
 
@@ -563,6 +653,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_stream_simulate(args)
     if args.command == "retrain-loop":
         return _command_retrain_loop(args)
+    if args.command == "canary-status":
+        return _command_canary_status(args)
     if args.command == "fold-in":
         return _command_fold_in(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -4,13 +4,20 @@
 (:class:`~repro.stream.drift.RefreshSignal`); this package acts on it.
 :class:`~repro.orchestrate.retrain.RetrainOrchestrator` runs the blue/green
 control loop — export the log-patched training table, retrain in a worker
-process, gate the candidate on offline recall against the incumbent, hot-swap,
-watch, and automatically roll back on regression — journaling every step to an
-atomically-published state file so a killed controller resumes exactly where
-it died instead of retraining from scratch.
+process, gate the candidate on offline recall against the incumbent, run an
+optional canary stage (shadow/cohort traffic through
+:class:`~repro.serve.canary.TrafficSplitter`, guardrail-gated, abortable),
+hot-swap, watch, and automatically roll back on regression — journaling every
+step to an atomically-published state file so a killed controller resumes
+exactly where it died instead of retraining from scratch.
+
+:mod:`repro.orchestrate.schedule` adds cron-style scheduled retrains
+(:class:`RetrainScheduler` over :class:`CronSpec`/:class:`IntervalSchedule`)
+as a signal source next to the drift monitor, deduped against in-flight runs.
 
 :mod:`repro.orchestrate.loop` packages the whole story as a runnable scenario
-behind the ``repro retrain-loop`` CLI subcommand.
+behind the ``repro retrain-loop`` CLI subcommand; ``repro canary-status``
+reads the journal + guardrail JSONL back for operators.
 """
 
 from .retrain import (
@@ -19,8 +26,10 @@ from .retrain import (
     RetrainConfig,
     RetrainOrchestrator,
     TickReport,
+    canary_status,
     offline_recall,
 )
+from .schedule import CronSpec, IntervalSchedule, RetrainScheduler, parse_schedule
 
 __all__ = [
     "OrchestratorError",
@@ -28,5 +37,10 @@ __all__ = [
     "RetrainConfig",
     "RetrainOrchestrator",
     "TickReport",
+    "canary_status",
     "offline_recall",
+    "CronSpec",
+    "IntervalSchedule",
+    "RetrainScheduler",
+    "parse_schedule",
 ]

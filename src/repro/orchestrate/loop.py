@@ -20,10 +20,27 @@ One process, the whole story:
 The function returns a :class:`RetrainLoopResult` summarising what happened;
 ``--smoke`` mode asserts the lifecycle actually completed (drift detected,
 candidate promoted, recall did not collapse) so CI exercises the whole path.
+
+Extensions over the original scenario:
+
+* ``canary_fraction`` > 0 inserts the canary stage: each orchestrator tick
+  routes the most recent chunk's users through the run's
+  :class:`~repro.serve.canary.TrafficSplitter`, and once the event stream is
+  exhausted the loop keeps ticking (re-serving the last chunk) until the
+  analyzer reaches a verdict — so a canary in flight is driven to promote or
+  abort rather than stranded;
+* ``schedule`` adds cron-style scheduled retrains next to the drift monitor;
+* ``max_cycles`` lets the loop run several full retrain cycles (scheduled
+  retrains make that meaningful) instead of stopping at the first outcome;
+* SIGINT drains gracefully: the in-flight tick finishes its stage and
+  journals before the loop returns (``interrupted=True``) — a second Ctrl-C
+  still kills the process the ordinary way.
 """
 
 from __future__ import annotations
 
+import signal as signal_module
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -31,11 +48,13 @@ import numpy as np
 
 from ..data.interactions import RatingTable
 from ..data.synthetic import load_benchmark
+from ..serve.canary import GuardrailPolicy
 from ..serve.service import RecommendationService
 from ..stream.drift import DriftConfig
 from ..stream.events import EventLog
 from ..stream.updater import StreamingUpdater, live_popularity
 from .retrain import RetrainConfig, RetrainOrchestrator, TickReport, offline_recall
+from .schedule import RetrainScheduler
 
 __all__ = ["RetrainLoopConfig", "RetrainLoopResult", "run_retrain_loop"]
 
@@ -57,6 +76,17 @@ class RetrainLoopConfig:
     min_recall_ratio: float = 0.9
     use_worker: bool = False
     max_ticks: int = 64
+    #: Cohort fraction for the canary stage (0 disables it — legacy flow).
+    canary_fraction: float = 0.0
+    #: ``"shadow"`` mirrors the cohort; ``"canary"`` serves it the candidate.
+    canary_mode: str = "shadow"
+    #: Guardrail evidence required before the analyzer promotes (kept small
+    #: here so the scenario converges in tens of ticks, not thousands).
+    canary_min_samples: int = 32
+    #: Optional cron spec / ``@every`` interval for scheduled retrains.
+    schedule: str | None = None
+    #: Stop after this many completed retrain cycles (terminal outcomes).
+    max_cycles: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.holdout_fraction < 1.0:
@@ -65,6 +95,12 @@ class RetrainLoopConfig:
             raise ValueError("chunk_size must be positive")
         if self.max_ticks <= 0:
             raise ValueError("max_ticks must be positive")
+        if not 0.0 <= self.canary_fraction <= 1.0:
+            raise ValueError("canary_fraction must be in [0, 1]")
+        if self.canary_min_samples < 1:
+            raise ValueError("canary_min_samples must be positive")
+        if self.max_cycles < 1:
+            raise ValueError("max_cycles must be positive")
 
 
 @dataclass(frozen=True)
@@ -80,18 +116,30 @@ class RetrainLoopResult:
     final_recall: float
     incumbent_id: str
     serving_id: str
+    #: Completed retrain cycles (terminal outcomes) this invocation saw.
+    cycles: int = 0
+    #: Final canary-stage decision of the last run (``None`` if stage off).
+    canary_decision: str | None = None
+    #: True when SIGINT drained the loop early (journal is consistent).
+    interrupted: bool = False
     reports: tuple[TickReport, ...] = field(repr=False, default=())
 
     def as_row(self) -> dict:
-        return {
+        row = {
             "outcome": self.outcome or "-",
             "events": self.events_streamed,
             "wal records": self.wal_records,
             "ticks": self.ticks,
+            "cycles": self.cycles,
             "recall(incumbent)": round(self.incumbent_recall, 4),
             "recall(final)": round(self.final_recall, 4),
             "serving": self.serving_id,
         }
+        if self.canary_decision is not None:
+            row["canary"] = self.canary_decision
+        if self.interrupted:
+            row["interrupted"] = True
+        return row
 
 
 def run_retrain_loop(config: RetrainLoopConfig | None = None) -> RetrainLoopResult:
@@ -139,6 +187,21 @@ def run_retrain_loop(config: RetrainLoopConfig | None = None) -> RetrainLoopResu
     service.set_popularity_provider(live_popularity(incumbent, log))
     incumbent_recall = offline_recall(incumbent, eval_positives, config.k)
 
+    # Canary wiring: each canary tick re-serves the most recent chunk's
+    # users through the splitter — the scenario's stand-in for live traffic.
+    recent_users: list[int] = []
+
+    def canary_traffic(splitter) -> None:
+        if recent_users:
+            splitter.recommend_many(recent_users, k=config.k)
+
+    canary_fractions: tuple[float, ...] = ()
+    if config.canary_fraction > 0:
+        canary_fractions = (config.canary_fraction,)
+    scheduler = None
+    if config.schedule is not None:
+        scheduler = RetrainScheduler(config.schedule, seq_fn=lambda: int(log.next_seq))
+
     orchestrator = RetrainOrchestrator(
         service,
         retrain_fn=lambda table: retrain_snapshot(table, settings),
@@ -150,7 +213,16 @@ def run_retrain_loop(config: RetrainLoopConfig | None = None) -> RetrainLoopResu
             k=config.k,
             min_recall_ratio=config.min_recall_ratio,
             use_worker=config.use_worker,
+            canary_fractions=canary_fractions,
+            canary_mode=config.canary_mode,
+            canary_policy=GuardrailPolicy(
+                min_samples=config.canary_min_samples,
+                min_abort_samples=min(10, config.canary_min_samples),
+            ),
+            canary_max_ticks=config.max_ticks,
         ),
+        scheduler=scheduler,
+        canary_traffic_fn=canary_traffic if canary_fractions else None,
     )
 
     # -- 3./4. stream events; one orchestrator tick per micro-batch -------- #
@@ -159,24 +231,67 @@ def run_retrain_loop(config: RetrainLoopConfig | None = None) -> RetrainLoopResu
     if config.max_events is not None:
         events = events[: config.max_events]
 
+    # Graceful SIGINT drain: the first Ctrl-C only raises a flag; the tick in
+    # flight finishes its stage and journals, then the loop exits cleanly.
+    # Only installable from the main thread (signal API restriction) — the
+    # loop still works, just without the graceful-drain behaviour, elsewhere.
+    stop_requested = threading.Event()
+    previous_handler = None
+    installed = threading.current_thread() is threading.main_thread()
+    if installed:
+        previous_handler = signal_module.signal(
+            signal_module.SIGINT, lambda signum, frame: stop_requested.set()
+        )
+
     reports: list[TickReport] = []
     outcome = None
     run_id = None
-    for start in range(0, len(events), config.chunk_size):
-        chunk = events[start : start + config.chunk_size]
-        log.extend(
-            chunk[:, 0],
-            chunk[:, 1],
-            timestamps=np.arange(start, start + len(chunk), dtype=np.float64),
-        )
-        updater.apply()
-        report = orchestrator.tick()
-        reports.append(report)
-        if report.outcome is not None:
-            outcome, run_id = report.outcome, report.run_id
-            break
-        if orchestrator.ticks >= config.max_ticks:
-            break
+    cycles = 0
+    try:
+        for start in range(0, len(events), config.chunk_size):
+            if stop_requested.is_set():
+                break
+            chunk = events[start : start + config.chunk_size]
+            log.extend(
+                chunk[:, 0],
+                chunk[:, 1],
+                timestamps=np.arange(start, start + len(chunk), dtype=np.float64),
+            )
+            recent_users[:] = [int(user) for user in np.unique(chunk[:, 0])]
+            updater.apply()
+            report = orchestrator.tick()
+            reports.append(report)
+            if report.outcome is not None:
+                outcome, run_id = report.outcome, report.run_id
+                cycles += 1
+                if cycles >= config.max_cycles:
+                    break
+            if orchestrator.ticks >= config.max_ticks:
+                break
+        # Tail: a multi-tick canary may still be in flight when the event
+        # stream runs dry — keep ticking on the last chunk's traffic until
+        # the analyzer reaches a verdict (or the tick budget runs out).
+        while (
+            not stop_requested.is_set()
+            and cycles < config.max_cycles
+            and orchestrator.ticks < config.max_ticks
+        ):
+            in_flight = orchestrator.journal.load()
+            if in_flight is None or in_flight.get("outcome") is not None:
+                break
+            report = orchestrator.tick()
+            reports.append(report)
+            if report.outcome is not None:
+                outcome, run_id = report.outcome, report.run_id
+                cycles += 1
+    finally:
+        if installed:
+            signal_module.signal(signal_module.SIGINT, previous_handler)
+
+    canary_decision = None
+    last_run = orchestrator.journal.load()
+    if last_run is not None:
+        canary_decision = last_run.get("stages", {}).get("canary", {}).get("decision")
 
     final_recall = offline_recall(service.snapshot, eval_positives, config.k)
     log.close()
@@ -190,5 +305,8 @@ def run_retrain_loop(config: RetrainLoopConfig | None = None) -> RetrainLoopResu
         final_recall=final_recall,
         incumbent_id=incumbent.snapshot_id,
         serving_id=service.snapshot.snapshot_id,
+        cycles=cycles,
+        canary_decision=canary_decision,
+        interrupted=stop_requested.is_set(),
         reports=tuple(reports),
     )

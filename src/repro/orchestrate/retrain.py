@@ -11,11 +11,31 @@ The control loop a production recommender needs once drift monitoring exists:
 3. **evaluate** — candidate and incumbent are scored offline (recall@K on a
    held-out positives set); promotion is gated on
    ``candidate >= min_recall_ratio × incumbent``;
-4. **promote** — the candidate is loaded with ``verify=True`` (manifest
+4. **canary** — (optional; enabled by ``RetrainConfig.canary_fractions``) the
+   candidate faces *live* traffic before it owns any of it: a
+   :class:`~repro.serve.canary.TrafficSplitter` shadows or serves a
+   deterministic hash cohort, a :class:`~repro.serve.canary.CanaryAnalyzer`
+   watches the guardrails (ranking overlap@k, candidate error/degraded
+   rates, latency ratio) and sequentially decides extend / ramp / promote /
+   **abort** — an abort ends the run with the incumbent still serving and no
+   rollback needed, because the candidate was never fully swapped in;
+5. **promote** — the candidate is loaded with ``verify=True`` (manifest
    checked bit-for-bit) and hot-swapped into the live service;
-5. **watch** — post-swap live evaluation plus the service's circuit breaker;
+6. **watch** — post-swap live evaluation plus the service's circuit breaker;
    a recall regression or a breaker trip rolls the incumbent back in within
    the same control-loop tick.
+
+The canary stage is *multi-tick*: unlike every other stage it returns with
+the run still in flight while evidence accumulates, journaling the
+splitter's cohort geometry and guardrail counters on every tick so a killed
+controller resumes mid-rollout with the same cohort (the hash is salted by
+the run id) and the same evidence.
+
+Signals come from three places: explicit :meth:`RetrainOrchestrator.submit`,
+the streaming updater's drift monitor, and — new — a cron-style
+:class:`~repro.orchestrate.schedule.RetrainScheduler`, polled in that order.
+Scheduler firings that land while a run is already in flight are consumed
+without starting a second run (dedupe).
 
 Every stage transition is journaled to an atomically-published JSON state
 file *before* the orchestrator moves on, and every stage checks the journal
@@ -43,6 +63,7 @@ from ..obs.tracing import span
 from ..reliability.atomicio import atomic_write_bytes
 from ..reliability.faults import fault_point
 from ..reliability.retry import RetryPolicy, retry
+from ..serve.canary import MODES, CanaryAnalyzer, CanaryDecision, GuardrailPolicy, TrafficSplitter
 from ..serve.retrieval import PAD_INDEX, ExactIndex, Retriever
 from ..serve.snapshot import EmbeddingSnapshot, load_snapshot, save_snapshot
 from ..stream.drift import RefreshSignal
@@ -53,11 +74,15 @@ __all__ = [
     "RetrainConfig",
     "RetrainOrchestrator",
     "TickReport",
+    "canary_status",
     "offline_recall",
 ]
 
 #: Stage names in execution order (journal keys).
-STAGES = ("retrain", "evaluate", "promote", "watch")
+STAGES = ("retrain", "evaluate", "canary", "promote", "watch")
+
+#: Terminal run outcomes (journal ``outcome`` values / metric labels).
+OUTCOMES = ("promoted", "rejected", "rolled_back", "aborted")
 
 
 class OrchestratorError(RuntimeError):
@@ -144,6 +169,20 @@ class RetrainConfig:
     retry: RetryPolicy = field(
         default_factory=lambda: RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.5)
     )
+    #: Cohort fraction ramp for the canary stage; empty ⇒ stage is skipped
+    #: (pre-canary behaviour: evaluate gates straight into promote).
+    canary_fractions: tuple[float, ...] = ()
+    #: ``"shadow"`` (mirror cohort queries, serve incumbent) or ``"canary"``
+    #: (actually serve the candidate to the cohort).
+    canary_mode: str = "shadow"
+    #: Guardrail thresholds the analyzer decides against.
+    canary_policy: GuardrailPolicy = field(default_factory=GuardrailPolicy)
+    #: Bound on the shadow mirror queue (overflow is shed, never blocks).
+    canary_mirror_queue: int = 256
+    #: Abort a rollout that reaches no verdict within this many canary ticks.
+    canary_max_ticks: int = 64
+    #: List length for the shadow ranking-overlap comparison (``None`` ⇒ ``k``).
+    canary_overlap_k: int | None = None
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -154,6 +193,12 @@ class RetrainConfig:
             raise ValueError("rollback_tolerance must be in [0, 1]")
         if self.worker_timeout <= 0:
             raise ValueError("worker_timeout must be positive")
+        if self.canary_mode not in MODES:
+            raise ValueError(f"canary_mode must be one of {MODES}")
+        if self.canary_mirror_queue < 1:
+            raise ValueError("canary_mirror_queue must be positive")
+        if self.canary_max_ticks < 1:
+            raise ValueError("canary_max_ticks must be positive")
 
 
 @dataclass(frozen=True)
@@ -161,7 +206,9 @@ class TickReport:
     """What one :meth:`RetrainOrchestrator.tick` call did."""
 
     run_id: str | None
-    outcome: str | None  # "promoted" | "rejected" | "rolled_back" | None (idle/in-flight)
+    #: "promoted" | "rejected" | "rolled_back" | "aborted" | None (idle or
+    #: in-flight — a multi-tick canary keeps the run open across reports).
+    outcome: str | None
     actions: tuple[str, ...]
 
     @property
@@ -204,6 +251,15 @@ class RetrainOrchestrator:
         float``) and the post-swap live check (``(service) -> float``).
         Defaults use :func:`offline_recall`.  Tests inject regressions here;
         operators can wire in a true online metric.
+    scheduler:
+        Optional :class:`~repro.orchestrate.schedule.RetrainScheduler` polled
+        after the drift monitor each tick.  Firings that land while a run is
+        in flight are consumed via :meth:`RetrainScheduler.skip` (deduped).
+    canary_traffic_fn:
+        ``callable(TrafficSplitter) -> None`` invoked once per canary tick to
+        route live traffic through the splitter.  In an embedded deployment
+        the front door holds :attr:`active_splitter` directly and this can be
+        ``None`` — the stage then decides on whatever traffic already flowed.
     """
 
     def __init__(
@@ -216,6 +272,8 @@ class RetrainOrchestrator:
         config: RetrainConfig | None = None,
         evaluate_fn: Callable | None = None,
         live_eval_fn: Callable | None = None,
+        scheduler=None,
+        canary_traffic_fn: Callable | None = None,
     ) -> None:
         self.service = service
         self.retrain_fn = retrain_fn
@@ -229,6 +287,9 @@ class RetrainOrchestrator:
         self._live_eval_fn = live_eval_fn or (
             lambda svc: self._evaluate_fn(svc.snapshot, self.eval_positives, self.config.k)
         )
+        self.scheduler = scheduler
+        self._canary_traffic_fn = canary_traffic_fn
+        self._splitter: TrafficSplitter | None = None
         self._pending_signals: list[RefreshSignal] = []
         self.ticks = 0
         # Metric handles bound once (no-ops unless metrics are enabled).
@@ -248,7 +309,15 @@ class RetrainOrchestrator:
                 "completed retrain runs by terminal outcome",
                 labels={"outcome": outcome},
             )
-            for outcome in ("promoted", "rejected", "rolled_back")
+            for outcome in OUTCOMES
+        }
+        self._m_canary_decisions = {
+            action: registry.counter(
+                "orchestrate.canary.decisions.total",
+                "canary analyzer decisions by action",
+                labels={"action": action},
+            )
+            for action in ("promote", "ramp", "extend", "abort", "skipped")
         }
 
     # ------------------------------------------------------------------ #
@@ -262,7 +331,11 @@ class RetrainOrchestrator:
         if self._pending_signals:
             return self._pending_signals.pop(0)
         if self.updater is not None:
-            return self.updater.monitor.check()
+            signal = self.updater.monitor.check()
+            if signal is not None:
+                return signal
+        if self.scheduler is not None:
+            return self.scheduler.check()
         return None
 
     # ------------------------------------------------------------------ #
@@ -302,6 +375,14 @@ class RetrainOrchestrator:
         actions: list[str] = []
         run = self.journal.load()
         if run is not None and run.get("outcome") is None:
+            # A cycle is already in flight: schedule firings that elapsed in
+            # the meantime are consumed, not queued — one retrain at a time.
+            if self.scheduler is not None and self.scheduler.skip():
+                actions.append("scheduled firing deduped (run in flight)")
+            # Journals written before the canary stage existed lack its key;
+            # default it to not-done (with no fractions configured it skips).
+            for name in STAGES:
+                run["stages"].setdefault(name, {"done": False})
             actions.append(f"resumed {run['run_id']}")
         else:
             signal = self._poll_signal()
@@ -314,8 +395,15 @@ class RetrainOrchestrator:
                 self._stage_retrain(run, actions)
                 self._stage_evaluate(run, actions)
                 if run["stages"]["evaluate"]["promote"]:
-                    self._stage_promote(run, actions)
-                    self._stage_watch(run, actions)
+                    if not self._stage_canary(run, actions):
+                        # Still collecting canary evidence: the run stays in
+                        # flight and the next tick resumes exactly here.
+                        return TickReport(
+                            run_id=run["run_id"], outcome=None, actions=tuple(actions)
+                        )
+                    if run.get("outcome") is None:
+                        self._stage_promote(run, actions)
+                        self._stage_watch(run, actions)
                 else:
                     self._finish(run, "rejected", actions)
         except Exception as error:
@@ -449,6 +537,154 @@ class RetrainOrchestrator:
                 promote=bool(promote),
             )
 
+    # -- canary ---------------------------------------------------------- #
+    @property
+    def active_splitter(self) -> TrafficSplitter | None:
+        """The live splitter during a canary stage (front doors route via it)."""
+        return self._splitter
+
+    def _ensure_splitter(self, run: dict) -> TrafficSplitter:
+        """Build (or rebuild after a crash) the splitter for this run.
+
+        The cohort hash is salted with the run id, so a rebuilt splitter
+        assigns every user to exactly the arm the dead controller did; the
+        journaled state restores the fraction ramp position and accumulated
+        guardrail counters on top.
+        """
+        if self._splitter is None or self._splitter.salt != run["run_id"]:
+            candidate = self._load(run["stages"]["retrain"]["candidate_path"])
+            self._splitter = TrafficSplitter(
+                self.service,
+                candidate,
+                salt=run["run_id"],
+                mode=self.config.canary_mode,
+                fractions=self.config.canary_fractions,
+                overlap_k=self.config.canary_overlap_k or self.config.k,
+                mirror_queue_size=self.config.canary_mirror_queue,
+            )
+            state = run["stages"]["canary"].get("state")
+            if state:
+                self._splitter.restore(state)
+        return self._splitter
+
+    def _teardown_splitter(self) -> None:
+        self._splitter = None
+
+    def _journal_canary_progress(self, run: dict, splitter: TrafficSplitter, ticks: int) -> None:
+        """Persist in-flight canary state (cohort geometry + guardrails)."""
+        run["stages"]["canary"] = {
+            "done": False,
+            "ticks": ticks,
+            "state": splitter.state_dict(),
+        }
+        fault_point("orchestrator.commit.canary_progress")
+        self.journal.write(run)
+
+    def _append_guardrail_record(
+        self, run: dict, splitter: TrafficSplitter, decision: CanaryDecision, ticks: int
+    ) -> None:
+        """Append one guardrail observation to ``canary-guardrails.jsonl``.
+
+        The JSONL file is the rollout's flight recorder: one line per canary
+        tick with the decision and the full guardrail snapshot, readable by
+        ``canary-status`` and uploadable as a CI artifact.
+        """
+        record = {
+            "run_id": run["run_id"],
+            "tick": ticks,
+            "time": time.time(),
+            "mode": splitter.mode,
+            "fraction": splitter.fraction,
+            "samples_this_phase": splitter.samples_this_phase,
+            "decision": decision.action,
+            "reasons": list(decision.reasons),
+            "guardrails": splitter.stats.as_dict(),
+        }
+        path = self.directory / "canary-guardrails.jsonl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as stream:
+            stream.write(json.dumps(record) + "\n")
+
+    def _stage_canary(self, run: dict, actions: list[str]) -> bool:
+        """One canary tick; returns True when the stage reached a verdict.
+
+        Unlike the other stages this one is multi-tick: ``extend``/``ramp``
+        journal in-flight progress and return False (the run stays open),
+        while ``promote`` commits the stage and ``abort`` additionally
+        finishes the run — with the incumbent still serving, since the
+        candidate only ever had the cohort.
+        """
+        stage = run["stages"]["canary"]
+        if stage.get("done"):
+            self._teardown_splitter()
+            return True
+        if not self.config.canary_fractions:
+            self._commit_stage(run, "canary", decision="skipped", ticks=0)
+            self._m_canary_decisions["skipped"].inc()
+            actions.append("canary skipped (no fractions configured)")
+            return True
+        with self._observe_stage("canary"):
+            fault_point("orchestrator.canary")
+            splitter = self._ensure_splitter(run)
+            if self._canary_traffic_fn is not None:
+                self._canary_traffic_fn(splitter)
+            splitter.drain()
+            ticks = int(stage.get("ticks", 0)) + 1
+            analyzer = CanaryAnalyzer(self.config.canary_policy)
+            decision = analyzer.decide(
+                splitter.stats, splitter.samples_this_phase, splitter.at_final_fraction
+            )
+            if decision.action in ("extend", "ramp") and ticks >= self.config.canary_max_ticks:
+                # A rollout that cannot reach a verdict is itself a red flag
+                # (no traffic? starved drain?) — fail safe, keep the incumbent.
+                decision = CanaryDecision(
+                    "abort",
+                    (f"no verdict after {ticks} canary ticks "
+                     f"(canary_max_ticks={self.config.canary_max_ticks})",),
+                )
+            self._m_canary_decisions[decision.action].inc()
+            self._append_guardrail_record(run, splitter, decision, ticks)
+            if decision.action == "ramp":
+                fraction = splitter.ramp()
+                actions.append(f"canary ramped to {fraction:.0%}")
+                self._journal_canary_progress(run, splitter, ticks)
+                return False
+            if decision.action == "extend":
+                actions.append(
+                    f"canary extended ({splitter.samples_this_phase} samples "
+                    f"at {splitter.fraction:.0%})"
+                )
+                self._journal_canary_progress(run, splitter, ticks)
+                return False
+            guardrails = splitter.stats.as_dict()
+            if decision.action == "abort":
+                self._commit_stage(
+                    run,
+                    "canary",
+                    decision="abort",
+                    reasons=list(decision.reasons),
+                    ticks=ticks,
+                    guardrails=guardrails,
+                )
+                actions.append(f"canary aborted: {'; '.join(decision.reasons)}")
+                self._teardown_splitter()
+                self._finish(run, "aborted", actions)
+                return True
+            self._commit_stage(
+                run,
+                "canary",
+                decision="promote",
+                reasons=list(decision.reasons),
+                ticks=ticks,
+                guardrails=guardrails,
+            )
+            actions.append(
+                f"canary passed ({guardrails['samples']} samples, "
+                f"overlap={guardrails['mean_overlap']:.3f})"
+            )
+            self._teardown_splitter()
+            return True
+
     def _stage_promote(self, run: dict, actions: list[str]) -> None:
         stage = run["stages"]["promote"]
         if stage.get("done"):
@@ -514,3 +750,34 @@ class RetrainOrchestrator:
             # incumbent — fresh evidence must accumulate before the next
             # attempt instead of re-triggering every tick on the same window.
             self.updater.monitor.mark_refreshed(self.service.snapshot.num_users)
+
+
+def canary_status(directory: str | Path) -> dict:
+    """Operator view of the canary rollout in ``directory``.
+
+    Reads the orchestrator journal and the guardrail JSONL (both written by
+    :class:`RetrainOrchestrator`) and returns a plain dict: the current run
+    and outcome, the canary stage's journaled state, and the latest guardrail
+    record.  Powers the ``canary-status`` CLI command; raises nothing on a
+    directory with no runs yet (every field is just ``None``/0).
+    """
+    directory = Path(directory)
+    run = OrchestratorJournal(directory / "orchestrator.json").load()
+    records: list[dict] = []
+    guardrail_path = directory / "canary-guardrails.jsonl"
+    if guardrail_path.exists():
+        for line in guardrail_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    canary_stage = None
+    if run is not None:
+        canary_stage = run.get("stages", {}).get("canary")
+    return {
+        "directory": str(directory),
+        "run_id": None if run is None else run.get("run_id"),
+        "outcome": None if run is None else run.get("outcome"),
+        "canary_stage": canary_stage,
+        "guardrail_records": len(records),
+        "latest": records[-1] if records else None,
+    }

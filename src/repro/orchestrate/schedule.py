@@ -1,0 +1,286 @@
+"""Cron-style scheduled retrains alongside drift-triggered ones.
+
+Drift monitors fire when the *data* says the model is stale; schedules fire
+when the *calendar* does.  Production retrain loops want both: a nightly
+refresh regardless of drift, plus drift-triggered refreshes between.
+
+:class:`CronSpec` parses a standard five-field cron expression (minute, hour,
+day-of-month, month, day-of-week, with ``*``, lists, ranges, ``*/n`` steps
+and the ``@hourly``/``@daily``/``@weekly`` aliases) and answers "when is the
+next firing at or after t".  :class:`IntervalSchedule` covers the simpler
+``@every 30m`` shape.  :class:`RetrainScheduler` adapts either into the
+orchestrator's signal vocabulary: :meth:`RetrainScheduler.check` returns a
+:class:`~repro.stream.drift.RefreshSignal` with reason ``"scheduled"`` when a
+firing is due, at most once per due period.  Catch-up is *coalesced*: a loop
+that was down across five scheduled firings retrains once, not five times,
+and :meth:`RetrainScheduler.skip` lets the orchestrator consume slots that
+elapse while a cycle is already running (dedupe — a scheduled firing never
+queues behind an in-flight retrain).
+
+Everything is driven by an injectable ``clock`` so tests (and the
+deterministic chaos suites) never sleep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from ..stream.drift import DriftMetrics, RefreshSignal
+
+__all__ = [
+    "CronSpec",
+    "IntervalSchedule",
+    "RetrainScheduler",
+    "parse_schedule",
+]
+
+#: Per-field (min, max) bounds: minute, hour, day-of-month, month, day-of-week.
+_FIELD_BOUNDS = ((0, 59), (0, 23), (1, 31), (1, 12), (0, 6))
+_FIELD_NAMES = ("minute", "hour", "day-of-month", "month", "day-of-week")
+
+#: Aliases expand to plain five-field specs (firing at minute/hour zero).
+ALIASES = {
+    "@hourly": "0 * * * *",
+    "@daily": "0 0 * * *",
+    "@midnight": "0 0 * * *",
+    "@weekly": "0 0 * * 0",
+    "@monthly": "0 0 1 * *",
+}
+
+
+def _parse_field(text: str, bounds: tuple[int, int], name: str) -> frozenset[int]:
+    """Expand one cron field into the set of matching values."""
+    low, high = bounds
+    values: set[int] = set()
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise ValueError(f"empty element in cron {name} field {text!r}")
+        step = 1
+        if "/" in part:
+            part, step_text = part.split("/", 1)
+            try:
+                step = int(step_text)
+            except ValueError:
+                raise ValueError(f"bad step {step_text!r} in cron {name} field") from None
+            if step < 1:
+                raise ValueError(f"cron {name} step must be >= 1, got {step}")
+        if part == "*":
+            start, stop = low, high
+        elif "-" in part:
+            start_text, stop_text = part.split("-", 1)
+            try:
+                start, stop = int(start_text), int(stop_text)
+            except ValueError:
+                raise ValueError(f"bad range {part!r} in cron {name} field") from None
+        else:
+            try:
+                start = stop = int(part)
+            except ValueError:
+                raise ValueError(f"bad value {part!r} in cron {name} field") from None
+        if not (low <= start <= high and low <= stop <= high and start <= stop):
+            raise ValueError(
+                f"cron {name} value {part!r} out of range [{low}, {high}]"
+            )
+        values.update(range(start, stop + 1, step))
+    return frozenset(values)
+
+
+@dataclass(frozen=True)
+class CronSpec:
+    """A parsed five-field cron expression with minute resolution."""
+
+    minutes: frozenset[int]
+    hours: frozenset[int]
+    days_of_month: frozenset[int]
+    months: frozenset[int]
+    days_of_week: frozenset[int]
+    #: Standard cron quirk: when *both* dom and dow are restricted, a time
+    #: matches if it satisfies either (an OR, not an AND).
+    dom_restricted: bool = True
+    dow_restricted: bool = True
+    source: str = ""
+
+    @classmethod
+    def parse(cls, text: str) -> "CronSpec":
+        original = text.strip()
+        text = ALIASES.get(original, original)
+        fields = text.split()
+        if len(fields) != 5:
+            raise ValueError(
+                f"cron spec needs 5 fields (minute hour dom month dow), got {original!r}"
+            )
+        parsed = [
+            _parse_field(field, bounds, name)
+            for field, bounds, name in zip(fields, _FIELD_BOUNDS, _FIELD_NAMES)
+        ]
+        return cls(
+            minutes=parsed[0],
+            hours=parsed[1],
+            days_of_month=parsed[2],
+            months=parsed[3],
+            days_of_week=parsed[4],
+            dom_restricted=fields[2] != "*",
+            dow_restricted=fields[4] != "*",
+            source=original,
+        )
+
+    def _day_matches(self, dt: datetime) -> bool:
+        # cron counts Sunday as 0; datetime.weekday() counts Monday as 0.
+        dow = (dt.weekday() + 1) % 7
+        dom_ok = dt.day in self.days_of_month
+        dow_ok = dow in self.days_of_week
+        if self.dom_restricted and self.dow_restricted:
+            return dom_ok or dow_ok
+        return dom_ok and dow_ok
+
+    def matches(self, when: float) -> bool:
+        """True if the (minute-truncated) timestamp is a firing time."""
+        dt = datetime.fromtimestamp(when)
+        return (
+            dt.minute in self.minutes
+            and dt.hour in self.hours
+            and dt.month in self.months
+            and self._day_matches(dt)
+        )
+
+    def next_fire(self, after: float) -> float:
+        """The first firing time strictly *after* ``after`` (epoch seconds).
+
+        Minute-resolution scan, skipping non-matching days wholesale; capped
+        at ~366 days so an impossible spec (e.g. Feb 30) raises instead of
+        spinning forever.
+        """
+        dt = datetime.fromtimestamp(after).replace(second=0, microsecond=0)
+        dt += timedelta(minutes=1)
+        limit = dt + timedelta(days=366)
+        while dt < limit:
+            if dt.month not in self.months or not self._day_matches(dt):
+                dt = (dt + timedelta(days=1)).replace(hour=0, minute=0)
+                continue
+            if dt.hour not in self.hours:
+                dt = (dt + timedelta(hours=1)).replace(minute=0)
+                continue
+            if dt.minute not in self.minutes:
+                dt += timedelta(minutes=1)
+                continue
+            return dt.timestamp()
+        raise ValueError(f"cron spec {self.source!r} never fires within a year")
+
+
+@dataclass(frozen=True)
+class IntervalSchedule:
+    """Fixed-period schedule (``@every 30m``): fires ``period`` after anchor."""
+
+    period: float
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("interval period must be positive")
+
+    def next_fire(self, after: float) -> float:
+        return after + self.period
+
+
+_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_schedule(text: str) -> "CronSpec | IntervalSchedule":
+    """Parse either shape: ``@every 30m`` / ``@every 45s`` or five-field cron
+    (including the ``@daily``-style aliases)."""
+    spec = text.strip()
+    if spec.startswith("@every"):
+        arg = spec[len("@every"):].strip()
+        if not arg:
+            raise ValueError("@every needs a duration, e.g. '@every 30m'")
+        unit = arg[-1]
+        if unit in _UNITS:
+            number = arg[:-1]
+        else:
+            unit, number = "s", arg
+        try:
+            period = float(number) * _UNITS[unit]
+        except ValueError:
+            raise ValueError(f"bad @every duration {arg!r}") from None
+        return IntervalSchedule(period=period, source=spec)
+    return CronSpec.parse(spec)
+
+
+class RetrainScheduler:
+    """Turn a schedule into deduplicated :class:`RefreshSignal`\\ s.
+
+    Parameters
+    ----------
+    schedule:
+        A :class:`CronSpec`, :class:`IntervalSchedule`, or a string for
+        :func:`parse_schedule`.
+    clock:
+        Epoch-seconds time source (injectable for tests).
+    seq_fn:
+        Optional zero-argument callable returning the current event-log
+        sequence number, stamped on emitted signals as ``as_of_seq`` so
+        scheduled retrains carry the same provenance as drift-triggered ones
+        (defaults to ``-1`` = "unknown").
+    """
+
+    def __init__(self, schedule, clock=time.time, seq_fn=None) -> None:
+        if isinstance(schedule, str):
+            schedule = parse_schedule(schedule)
+        self.schedule = schedule
+        self._clock = clock
+        self._seq_fn = seq_fn
+        self._next_due = schedule.next_fire(clock())
+        self.fired = 0
+        self.skipped = 0
+
+    @property
+    def next_due(self) -> float:
+        """Epoch seconds of the next scheduled firing."""
+        return self._next_due
+
+    def _advance(self, now: float) -> None:
+        # Coalesced catch-up: re-anchor past *now*, so N missed periods
+        # produce one firing, and the next is a full period/match away.
+        self._next_due = self.schedule.next_fire(now)
+
+    def due(self, now: float | None = None) -> bool:
+        now = self._clock() if now is None else now
+        return now >= self._next_due
+
+    def check(self, now: float | None = None) -> RefreshSignal | None:
+        """Emit a ``scheduled`` signal if a firing is due, else ``None``.
+
+        Consumes the due slot: repeated calls within one period return the
+        signal at most once.
+        """
+        now = self._clock() if now is None else now
+        if now < self._next_due:
+            return None
+        self._advance(now)
+        self.fired += 1
+        seq = -1 if self._seq_fn is None else int(self._seq_fn())
+        return RefreshSignal(
+            reasons=("scheduled",),
+            metrics=DriftMetrics(
+                events_observed=0, popularity_kl=0.0, mean_residual=0.0, cold_user_ratio=0.0
+            ),
+            as_of_seq=seq,
+        )
+
+    def skip(self, now: float | None = None) -> bool:
+        """Consume a due slot *without* emitting a signal.
+
+        The orchestrator calls this while a retrain cycle is already in
+        flight: a schedule firing mid-cycle must not queue a second cycle
+        behind the first (dedupe), it just re-anchors to the next period.
+        Returns whether a slot was actually consumed.
+        """
+        now = self._clock() if now is None else now
+        if now < self._next_due:
+            return False
+        self._advance(now)
+        self.skipped += 1
+        return True

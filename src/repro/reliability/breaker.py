@@ -159,6 +159,11 @@ class CircuitBreaker:
                 "open_count": self.open_count,
                 "half_open_streak": self._half_open_streak,
                 "half_open_inflight": self._half_open_inflight,
+                # Probe configuration, so operators reading stats() can tell
+                # how many half-open successes a recovery needs and how many
+                # concurrent probes are admitted.
+                "half_open_successes": self.half_open_successes,
+                "half_open_max_calls": self.half_open_max_calls,
                 "allowed_calls": self.allowed_calls,
                 "refused_calls": self.refused_calls,
             }

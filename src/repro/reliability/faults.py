@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -67,6 +68,7 @@ class _Plan:
     probability: float | None = None
     mode: str = "raise"
     partial_fraction: float = 0.5
+    delay: float = 0.05
     calls: int = 0
     fired: int = 0
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
@@ -91,7 +93,8 @@ class FaultInjector:
     call at ``site`` fail; ``arm(site, probability=0.2, seed=7)`` fires a
     seeded 20% of calls.  ``mode="torn"`` only affects :func:`faulty_write`
     sites: a prefix of the payload is written before the error, simulating
-    process death mid-write.
+    process death mid-write.  ``mode="delay"`` sleeps ``delay`` seconds at
+    the site instead of raising — injected latency for brownout chaos.
     """
 
     def __init__(self, seed: int = 0) -> None:
@@ -108,13 +111,16 @@ class FaultInjector:
         probability: float | None = None,
         mode: str = "raise",
         partial_fraction: float = 0.5,
+        delay: float = 0.05,
     ) -> "FaultInjector":
-        if mode not in {"raise", "torn"}:
-            raise ValueError("mode must be 'raise' or 'torn'")
+        if mode not in {"raise", "torn", "delay"}:
+            raise ValueError("mode must be 'raise', 'torn' or 'delay'")
         if probability is not None and not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
         if not 0.0 <= partial_fraction < 1.0:
             raise ValueError("partial_fraction must be in [0, 1)")
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
         with self._lock:
             self._plans[site] = _Plan(
                 site=site,
@@ -123,6 +129,7 @@ class FaultInjector:
                 probability=probability,
                 mode=mode,
                 partial_fraction=partial_fraction,
+                delay=delay,
                 rng=np.random.default_rng(self.seed + len(self._plans)),
             )
         return self
@@ -195,15 +202,22 @@ def inject_faults(injector: FaultInjector):
 
 
 def fault_point(site: str) -> None:
-    """Raise :class:`FaultError` if an active injector armed this site.
+    """Fire an injected fault if an active injector armed this site.
 
-    A no-op (one ``is None`` check) in normal operation; sprinkle liberally
-    on the instructions a crash would hurt most.
+    ``mode="raise"`` (and ``"torn"``, which only differs at
+    :func:`faulty_write` sites) raises :class:`FaultError`; ``mode="delay"``
+    sleeps the plan's ``delay`` seconds instead — a brownout rather than an
+    outage, for exercising latency guardrails.  A no-op (one ``is None``
+    check) in normal operation; sprinkle liberally on the instructions a
+    crash would hurt most.
     """
     if _ACTIVE is None:
         return
     plan = _ACTIVE.check(site)
     if plan is not None:
+        if plan.mode == "delay":
+            time.sleep(plan.delay)
+            return
         raise FaultError(site, plan.calls, plan.mode)
 
 

@@ -10,7 +10,12 @@ This package turns a trained recommender into an online system answering
 * :mod:`repro.serve.index` — :class:`IVFIndex`, approximate retrieval that
   probes only the most promising k-means cells of the catalogue;
 * :mod:`repro.serve.service` — :class:`RecommendationService` with
-  micro-batching, an LRU result cache and popularity cold-start fallback.
+  micro-batching, an LRU result cache, popularity cold-start fallback and
+  deadline-budget admission control;
+* :mod:`repro.serve.canary` — :class:`TrafficSplitter` (deterministic hash
+  cohorts, shadow mirroring / canary serving with load shedding) and
+  :class:`CanaryAnalyzer` (sequential promote/extend/abort guardrail rules)
+  for staged candidate rollouts.
 
 Snapshot file format (``.npz``, format version 1)
 -------------------------------------------------
@@ -53,6 +58,15 @@ Quickstart::
     print(service.recommend(user_id=7, k=10).items)
 """
 
+from .canary import (
+    CanaryAnalyzer,
+    CanaryDecision,
+    GuardrailPolicy,
+    GuardrailStats,
+    TrafficSplitter,
+    cohort_hash,
+    ranking_overlap,
+)
 from .index import IVFIndex
 from .retrieval import ExactIndex, Retriever, exact_topk, gather_csr_rows, PAD_INDEX
 from .service import LRUCache, PendingRecommendation, Recommendation, RecommendationService
@@ -90,4 +104,11 @@ __all__ = [
     "Recommendation",
     "PendingRecommendation",
     "RecommendationService",
+    "CanaryAnalyzer",
+    "CanaryDecision",
+    "GuardrailPolicy",
+    "GuardrailStats",
+    "TrafficSplitter",
+    "cohort_hash",
+    "ranking_overlap",
 ]

@@ -1,0 +1,676 @@
+"""Canary traffic splitting: shadow/canary cohorts, guardrails and analysis.
+
+PR 7's blue/green orchestrator promotes a candidate snapshot on an *offline*
+recall gate alone — a one-shot bet that live traffic will behave like the
+held-out set.  This module closes that gap with a staged, evidence-gated,
+abortable rollout:
+
+* :class:`TrafficSplitter` sits in front of the live
+  :class:`~repro.serve.service.RecommendationService` and deterministically
+  hashes user ids into a *cohort* (a salted 64-bit hash mapped to ``[0, 1)``;
+  a user is in the cohort iff their hash is below the active fraction).  The
+  hash depends only on ``(salt, user_id)``, so cohort membership is identical
+  across processes, restarts and journal resumes — no user ever flaps between
+  arms — and ramping the fraction only ever *grows* the cohort (nested
+  cohorts: everyone in at 5% is still in at 20%).
+* In **shadow** mode every query is answered by the incumbent; cohort
+  queries are additionally *mirrored* to the candidate through a bounded
+  queue and compared off the serving path (ranking overlap@k, latency delta,
+  error/degraded/fallback rates).  The mirror queue is the first thing load
+  shedding drops: a full queue silently discards the mirror, never delays or
+  fails the user's answer.
+* In **canary** mode cohort queries are *actually served* by the candidate;
+  any candidate-side failure degrades that query to the popularity fallback
+  (via the primary service) instead of erroring — a user query never fails
+  because the canary does.
+* :class:`GuardrailStats` accumulates the evidence (independently of the
+  :mod:`repro.obs` registry, so decisions work with metrics disabled) and
+  round-trips through plain dicts so the orchestrator can journal it.
+* :class:`CanaryAnalyzer` turns the evidence into a sequential decision:
+  ``abort`` on a guardrail breach, ``extend`` while evidence accumulates,
+  ``ramp`` to the next scheduled fraction, ``promote`` once the final
+  fraction has held.
+
+The candidate side is a full :class:`RecommendationService` (its own breaker,
+its own degradation ladder), so "candidate error rate" means the same thing
+it would mean in production.  Candidate-side chaos is injectable at the
+``canary.candidate`` fault site (``REPRO_FAULTS``), in both raise and delay
+modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+import time
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+from ..obs.tracing import span
+from ..reliability.faults import fault_point
+from .service import Recommendation, RecommendationService
+from .snapshot import EmbeddingSnapshot
+
+__all__ = [
+    "CanaryAnalyzer",
+    "CanaryDecision",
+    "GuardrailPolicy",
+    "GuardrailStats",
+    "TrafficSplitter",
+    "cohort_hash",
+    "ranking_overlap",
+]
+
+#: Splitter operating modes.
+MODES = ("shadow", "canary")
+
+
+def cohort_hash(salt: str, user_id: int) -> float:
+    """Deterministic hash of ``(salt, user_id)`` mapped to ``[0, 1)``.
+
+    blake2b over a stable text encoding — no process-seeded randomness, no
+    Python ``hash()`` (randomised per interpreter) — so cohort membership is
+    reproducible across machines and restarts.  A user is in the cohort at
+    fraction ``f`` iff ``cohort_hash(salt, user) < f``, which makes cohorts
+    *nested* in ``f``: ramping only adds users, never reshuffles them.
+    """
+    digest = hashlib.blake2b(
+        f"{salt}:{int(user_id)}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") / 2.0**64
+
+
+def ranking_overlap(primary_items: np.ndarray, candidate_items: np.ndarray, k: int) -> float:
+    """|top-k(primary) ∩ top-k(candidate)| / k — the shadow agreement metric.
+
+    Order-insensitive by design: the guardrail asks "would the candidate show
+    the user substantially the same catalogue slice", not "in the same
+    order".  Short result lists (masking can shrink them) are handled by
+    normalising with ``k`` — missing items count as disagreement.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    a = np.asarray(primary_items)[:k]
+    b = np.asarray(candidate_items)[:k]
+    if a.size == 0 and b.size == 0:
+        return 1.0
+    return float(len(np.intersect1d(a, b)) / k)
+
+
+# --------------------------------------------------------------------------- #
+# Guardrail evidence
+# --------------------------------------------------------------------------- #
+@dataclass
+class GuardrailStats:
+    """Accumulated canary evidence; journal-serialisable via ``as_dict``.
+
+    All counters are cumulative over the whole rollout (across ramps and
+    resumes); the per-phase view the analyzer needs is derived by the
+    splitter from ``samples`` deltas at ramp boundaries.
+    """
+
+    #: Shadow comparisons completed (one per mirrored cohort query).
+    shadow_compared: int = 0
+    #: Sum of per-query ranking overlap@k over all shadow comparisons.
+    overlap_sum: float = 0.0
+    #: Cohort queries actually served by the candidate (canary mode).
+    cohort_queries: int = 0
+    #: Queries answered by the incumbent through the splitter.
+    primary_queries: int = 0
+    #: Candidate queries attempted (shadow comparisons + canary cohort serves).
+    candidate_attempts: int = 0
+    #: Candidate calls that raised out of the candidate service entirely.
+    candidate_errors: int = 0
+    #: Candidate-side degraded answers (its breaker/retrieval failed).
+    candidate_degraded: int = 0
+    #: Candidate-side popularity fallbacks (cold users included).
+    candidate_fallbacks: int = 0
+    #: Wall-time sums for the latency-delta guardrail.
+    primary_latency_sum: float = 0.0
+    primary_latency_calls: int = 0
+    candidate_latency_sum: float = 0.0
+    candidate_latency_calls: int = 0
+    #: Mirrors enqueued / shed because the bounded queue was full.
+    mirror_enqueued: int = 0
+    mirror_dropped: int = 0
+
+    # -- derived views ------------------------------------------------------ #
+    @property
+    def samples(self) -> int:
+        """Guardrail sample count: evidence units the analyzer reasons over."""
+        return self.shadow_compared + self.cohort_queries
+
+    @property
+    def mean_overlap(self) -> float:
+        return self.overlap_sum / self.shadow_compared if self.shadow_compared else 1.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.candidate_errors / self.candidate_attempts if self.candidate_attempts else 0.0
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.candidate_degraded / self.candidate_attempts if self.candidate_attempts else 0.0
+
+    @property
+    def primary_mean_latency(self) -> float:
+        return (
+            self.primary_latency_sum / self.primary_latency_calls
+            if self.primary_latency_calls
+            else 0.0
+        )
+
+    @property
+    def candidate_mean_latency(self) -> float:
+        return (
+            self.candidate_latency_sum / self.candidate_latency_calls
+            if self.candidate_latency_calls
+            else 0.0
+        )
+
+    @property
+    def latency_ratio(self) -> float:
+        """candidate/primary mean per-query latency (1.0 until both measured)."""
+        if not (self.primary_latency_calls and self.candidate_latency_calls):
+            return 1.0
+        primary = self.primary_mean_latency
+        if primary <= 0.0:
+            return 1.0
+        return self.candidate_mean_latency / primary
+
+    def as_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out.update(
+            samples=self.samples,
+            mean_overlap=self.mean_overlap,
+            error_rate=self.error_rate,
+            degraded_rate=self.degraded_rate,
+            latency_ratio=self.latency_ratio,
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GuardrailStats":
+        names = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in names})
+
+
+@dataclass(frozen=True)
+class GuardrailPolicy:
+    """Thresholds the :class:`CanaryAnalyzer` decides against.
+
+    ``min_samples`` gates *positive* decisions (ramp/promote need that much
+    evidence at the current fraction); ``min_abort_samples`` gates *negative*
+    ones (abort rules engage earlier — a clearly broken candidate should not
+    get to keep collecting).  Rates are fractions of candidate attempts.
+    """
+
+    min_samples: int = 50
+    min_abort_samples: int = 10
+    min_overlap: float = 0.5
+    max_error_rate: float = 0.02
+    max_degraded_rate: float = 0.10
+    max_latency_ratio: float = 3.0
+    #: Absolute floor under which the latency ratio is ignored: when both
+    #: arms answer in microseconds the ratio is timing noise, not a signal.
+    #: A candidate must be both *slow in absolute terms* (mean per-query
+    #: latency above this) and ``max_latency_ratio``× the primary to breach.
+    latency_floor_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1 or self.min_abort_samples < 1:
+            raise ValueError("sample minimums must be positive")
+        if not 0.0 <= self.min_overlap <= 1.0:
+            raise ValueError("min_overlap must be in [0, 1]")
+        if not 0.0 <= self.max_error_rate <= 1.0 or not 0.0 <= self.max_degraded_rate <= 1.0:
+            raise ValueError("rate thresholds must be in [0, 1]")
+        if self.max_latency_ratio <= 0:
+            raise ValueError("max_latency_ratio must be positive")
+        if self.latency_floor_s < 0:
+            raise ValueError("latency_floor_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class CanaryDecision:
+    """One sequential decision: what to do next and why."""
+
+    action: str  # "promote" | "ramp" | "extend" | "abort"
+    reasons: tuple[str, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.action} ({'; '.join(self.reasons)})"
+
+
+class CanaryAnalyzer:
+    """Sequential promote/extend/abort rules over guardrail evidence.
+
+    Decision order (first match wins):
+
+    1. **abort** — any guardrail breached once ``min_abort_samples`` evidence
+       exists: overlap@k collapsed, candidate error/degraded rate above
+       ceiling, or candidate latency blown past ``max_latency_ratio``×.
+    2. **extend** — fewer than ``min_samples`` at the current fraction; keep
+       collecting.
+    3. **ramp** — healthy and sampled, but the fraction schedule has further
+       steps.
+    4. **promote** — healthy, sampled, at the final fraction.
+    """
+
+    def __init__(self, policy: GuardrailPolicy | None = None) -> None:
+        self.policy = policy or GuardrailPolicy()
+
+    def breaches(self, stats: GuardrailStats) -> tuple[str, ...]:
+        """Guardrail violations in ``stats`` (empty tuple when healthy)."""
+        policy = self.policy
+        reasons: list[str] = []
+        if stats.shadow_compared and stats.mean_overlap < policy.min_overlap:
+            reasons.append(
+                f"overlap@k {stats.mean_overlap:.3f} < {policy.min_overlap:.3f}"
+            )
+        if stats.error_rate > policy.max_error_rate:
+            reasons.append(
+                f"candidate error rate {stats.error_rate:.3f} > {policy.max_error_rate:.3f}"
+            )
+        if stats.degraded_rate > policy.max_degraded_rate:
+            reasons.append(
+                f"candidate degraded rate {stats.degraded_rate:.3f} > "
+                f"{policy.max_degraded_rate:.3f}"
+            )
+        if (
+            stats.latency_ratio > policy.max_latency_ratio
+            and stats.candidate_mean_latency > policy.latency_floor_s
+        ):
+            reasons.append(
+                f"candidate latency {stats.latency_ratio:.2f}x primary > "
+                f"{policy.max_latency_ratio:.2f}x "
+                f"(mean {stats.candidate_mean_latency * 1e3:.1f}ms)"
+            )
+        return tuple(reasons)
+
+    def decide(
+        self, stats: GuardrailStats, samples_this_phase: int, final_phase: bool
+    ) -> CanaryDecision:
+        if stats.samples >= self.policy.min_abort_samples:
+            breaches = self.breaches(stats)
+            if breaches:
+                return CanaryDecision("abort", breaches)
+        if samples_this_phase < self.policy.min_samples:
+            return CanaryDecision(
+                "extend",
+                (f"collecting ({samples_this_phase}/{self.policy.min_samples} "
+                 "samples this phase)",),
+            )
+        if not final_phase:
+            return CanaryDecision("ramp", ("phase healthy; advancing fraction",))
+        return CanaryDecision("promote", ("all guardrails healthy at final fraction",))
+
+
+# --------------------------------------------------------------------------- #
+# The splitter
+# --------------------------------------------------------------------------- #
+class TrafficSplitter:
+    """Route live queries across the incumbent service and a candidate.
+
+    Parameters
+    ----------
+    primary:
+        The live :class:`RecommendationService` (the incumbent).  Non-cohort
+        traffic — and in shadow mode, *all* traffic — is answered by it.
+    candidate:
+        The candidate :class:`EmbeddingSnapshot` under evaluation.  A
+        dedicated uncached service is built over it (its own circuit breaker,
+        its own degradation ladder) so candidate failures are contained and
+        measured rather than shared with the incumbent.
+    salt:
+        Cohort hash salt — use the orchestrator run id so one rollout's
+        cohort is stable across resumes but independent of the next rollout's.
+    mode:
+        ``"shadow"`` (mirror, never serve) or ``"canary"`` (serve the cohort).
+    fractions:
+        The ramp schedule of cohort fractions, strictly increasing in
+        ``(0, 1]``; :meth:`ramp` advances through it.
+    overlap_k:
+        List length of the shadow ranking-overlap comparison.
+    mirror_queue_size:
+        Bound on the shadow mirror queue.  A full queue *drops* the mirror
+        (load shedding) — mirroring must never block or fail a user query.
+    index_factory:
+        Optional index factory for the candidate service (defaults to the
+        primary's, so both arms pay comparable retrieval costs).
+    """
+
+    def __init__(
+        self,
+        primary: RecommendationService,
+        candidate: EmbeddingSnapshot,
+        salt: str,
+        mode: str = "shadow",
+        fractions: tuple[float, ...] = (0.05, 0.2, 0.5),
+        overlap_k: int | None = None,
+        mirror_queue_size: int = 256,
+        index_factory=None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        fractions = tuple(float(f) for f in fractions)
+        if not fractions:
+            raise ValueError("at least one cohort fraction is required")
+        if any(not 0.0 < f <= 1.0 for f in fractions):
+            raise ValueError("cohort fractions must be in (0, 1]")
+        if any(f2 <= f1 for f1, f2 in zip(fractions, fractions[1:])):
+            raise ValueError("cohort fractions must be strictly increasing")
+        if mirror_queue_size < 1:
+            raise ValueError("mirror_queue_size must be positive")
+        self.primary = primary
+        self.salt = str(salt)
+        self.mode = mode
+        self.fractions = fractions
+        self.fraction_index = 0
+        self.overlap_k = int(overlap_k) if overlap_k is not None else primary.default_k
+        if self.overlap_k <= 0:
+            raise ValueError("overlap_k must be positive")
+        # The candidate arm mirrors the primary's configuration — same index
+        # family, same cache capacity — so the latency guardrail compares like
+        # with like (an uncached candidate against a cached incumbent would
+        # read as a regression that promotion would immediately cure).  It is
+        # breaker-guarded on its own: a melting candidate degrades itself
+        # without ever touching the incumbent's breaker.
+        self.candidate = RecommendationService(
+            candidate,
+            index_factory=index_factory or primary._index_factory,
+            default_k=primary.default_k,
+            cache_size=primary.cache.maxsize,
+            mask_train=primary.mask_train,
+            cold_start_min_history=primary.cold_start_min_history,
+        )
+        self._mirror: queue.Queue = queue.Queue(maxsize=mirror_queue_size)
+        self.stats = GuardrailStats()
+        self._lock = threading.Lock()
+        # Candidate-service counters already absorbed into ``stats`` (the
+        # service's own stats are cumulative; we fold in deltas).
+        self._seen_candidate_degraded = 0
+        self._seen_candidate_fallbacks = 0
+        # Samples already accumulated when the current phase started — the
+        # analyzer reasons about evidence *at the current fraction*.
+        self._phase_started_samples = 0
+        # The salt never changes for a splitter's lifetime, so per-user hash
+        # values are memoised: repeat visitors cost a dict hit, not a blake2b
+        # digest, on the serving path.  Bounded against unbounded id spaces.
+        self._hash_cache: dict[int, float] = {}
+        registry = get_registry()
+        self._m_cohort = registry.counter(
+            "canary.cohort.queries.total", "cohort queries served by the candidate"
+        )
+        self._m_primary = registry.counter(
+            "canary.primary.queries.total", "queries answered by the incumbent via the splitter"
+        )
+        self._m_mirrors = registry.counter(
+            "canary.mirror.enqueued.total", "shadow mirrors enqueued"
+        )
+        self._m_dropped = registry.counter(
+            "canary.mirror.dropped.total", "shadow mirrors shed (queue full)"
+        )
+        self._m_compared = registry.counter(
+            "canary.shadow.compared.total", "shadow comparisons completed"
+        )
+        self._m_errors = registry.counter(
+            "canary.candidate.errors.total", "candidate calls that raised"
+        )
+        self._m_overlap = registry.histogram(
+            "canary.overlap",
+            "per-query ranking overlap@k between incumbent and candidate",
+            buckets=tuple(i / 10 for i in range(1, 11)),
+        )
+        self._m_primary_latency = registry.histogram(
+            "canary.primary.latency_seconds", "incumbent wall time per splitter batch"
+        )
+        self._m_candidate_latency = registry.histogram(
+            "canary.candidate.latency_seconds", "candidate wall time per batch"
+        )
+        self._m_fraction = registry.gauge(
+            "canary.fraction", "active cohort fraction of the rollout"
+        )
+        self._m_fraction.set(self.fraction)
+
+    # ------------------------------------------------------------------ #
+    # Cohort geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def fraction(self) -> float:
+        return self.fractions[self.fraction_index]
+
+    @property
+    def at_final_fraction(self) -> bool:
+        return self.fraction_index == len(self.fractions) - 1
+
+    @property
+    def samples_this_phase(self) -> int:
+        return self.stats.samples - self._phase_started_samples
+
+    _HASH_CACHE_MAX = 1 << 18
+
+    def _cohort_value(self, user_id: int) -> float:
+        value = self._hash_cache.get(user_id)
+        if value is None:
+            if len(self._hash_cache) >= self._HASH_CACHE_MAX:
+                self._hash_cache.clear()
+            value = cohort_hash(self.salt, user_id)
+            self._hash_cache[user_id] = value
+        return value
+
+    def in_cohort(self, user_id: int) -> bool:
+        """Deterministic membership at the *current* fraction."""
+        return self._cohort_value(int(user_id)) < self.fraction
+
+    def ramp(self) -> float:
+        """Advance to the next scheduled fraction; returns the new fraction.
+
+        Resets the per-phase sample window (cumulative stats are kept — an
+        abort-worthy error rate does not wash out by ramping).
+        """
+        if self.at_final_fraction:
+            raise RuntimeError("already at the final cohort fraction")
+        self.fraction_index += 1
+        self._phase_started_samples = self.stats.samples
+        self._m_fraction.set(self.fraction)
+        return self.fraction
+
+    # ------------------------------------------------------------------ #
+    # Serving front door
+    # ------------------------------------------------------------------ #
+    def recommend(self, user_id: int, k: int | None = None) -> Recommendation:
+        return self.recommend_many([user_id], k=k)[0]
+
+    def recommend_many(self, user_ids, k: int | None = None) -> list[Recommendation]:
+        """Answer a batch, splitting cohort traffic per the active mode.
+
+        Never raises on the candidate's account: shadow mirrors are enqueued
+        (or shed) off-path, and canary cohort queries fall back to the
+        popularity ranking if the candidate arm fails outright.
+        """
+        k = self.primary.default_k if k is None else int(k)
+        users = [int(user) for user in np.atleast_1d(np.asarray(user_ids, dtype=np.int64))]
+        cohort: list[int] = []
+        rest: list[int] = []
+        fraction = self.fraction
+        for user in users:
+            (cohort if self._cohort_value(user) < fraction else rest).append(user)
+        with span("canary.split", users=len(users), cohort=len(cohort), mode=self.mode):
+            results: dict[int, Recommendation] = {}
+            if self.mode == "shadow":
+                primary_users = users
+            else:
+                primary_users = rest
+                if cohort:
+                    for user, rec in zip(cohort, self._serve_cohort(cohort, k)):
+                        results[user] = rec
+            if primary_users:
+                started = time.perf_counter()
+                served = self.primary.recommend_many(primary_users, k=k)
+                elapsed = time.perf_counter() - started
+                with self._lock:
+                    self.stats.primary_queries += len(primary_users)
+                    self.stats.primary_latency_sum += elapsed / len(primary_users)
+                    self.stats.primary_latency_calls += 1
+                self._m_primary.inc(len(primary_users))
+                self._m_primary_latency.observe(elapsed)
+                for user, rec in zip(primary_users, served):
+                    results[user] = rec
+            if self.mode == "shadow" and cohort:
+                self._enqueue_mirror(cohort, k, [results[user] for user in cohort])
+            return [results[user] for user in users]
+
+    def _serve_cohort(self, cohort: list[int], k: int) -> list[Recommendation]:
+        """Canary mode: candidate answers, popularity degradation on failure."""
+        started = time.perf_counter()
+        try:
+            recommendations = self._candidate_call(cohort, k)
+        except Exception:
+            # The candidate arm failed outright (its service normally degrades
+            # internally; this catches anything beyond it, including injected
+            # chaos).  The user still gets an answer — popularity, via the
+            # *incumbent* service — and the failure is evidence for the
+            # analyzer, not an error for the caller.
+            with self._lock:
+                self.stats.candidate_attempts += len(cohort)
+                self.stats.candidate_errors += len(cohort)
+                self.stats.cohort_queries += len(cohort)
+            self._m_errors.inc(len(cohort))
+            self._m_cohort.inc(len(cohort))
+            return [self.primary.popularity_recommendation(user, k) for user in cohort]
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.stats.cohort_queries += len(cohort)
+            self.stats.candidate_attempts += len(cohort)
+            self.stats.candidate_latency_sum += elapsed / len(cohort)
+            self.stats.candidate_latency_calls += 1
+            self._absorb_candidate_counters()
+        self._m_cohort.inc(len(cohort))
+        self._m_candidate_latency.observe(elapsed)
+        return recommendations
+
+    def _candidate_call(self, users: list[int], k: int) -> list[Recommendation]:
+        """The single funnel every candidate query goes through.
+
+        The ``canary.candidate`` fault site lives here so chaos tests can
+        inject candidate-side errors (``mode="raise"``) or latency
+        (``mode="delay"``) into shadow mirrors and canary serves alike.
+        """
+        fault_point("canary.candidate")
+        return self.candidate.recommend_many(users, k=k)
+
+    def _absorb_candidate_counters(self) -> None:
+        """Fold candidate-service degradations into the guardrails (locked)."""
+        degraded = self.candidate.stats.degraded_queries
+        fallbacks = self.candidate.stats.fallbacks
+        self.stats.candidate_degraded += degraded - self._seen_candidate_degraded
+        self.stats.candidate_fallbacks += fallbacks - self._seen_candidate_fallbacks
+        self._seen_candidate_degraded = degraded
+        self._seen_candidate_fallbacks = fallbacks
+
+    # ------------------------------------------------------------------ #
+    # Shadow mirroring
+    # ------------------------------------------------------------------ #
+    def _enqueue_mirror(
+        self, users: list[int], k: int, primary_results: list[Recommendation]
+    ) -> None:
+        """Queue a shadow comparison; shed it if the bounded queue is full."""
+        try:
+            self._mirror.put_nowait((list(users), k, [r.items for r in primary_results]))
+        except queue.Full:
+            with self._lock:
+                self.stats.mirror_dropped += len(users)
+            self._m_dropped.inc(len(users))
+            return
+        with self._lock:
+            self.stats.mirror_enqueued += len(users)
+        self._m_mirrors.inc(len(users))
+
+    @property
+    def mirror_depth(self) -> int:
+        """Mirror batches currently queued (0 after a full :meth:`drain`)."""
+        return self._mirror.qsize()
+
+    def drain(self, max_batches: int | None = None) -> int:
+        """Process queued shadow mirrors; returns comparisons completed.
+
+        Runs the candidate off the serving path: each queued batch is scored
+        by the candidate arm and per-user ranking overlap@k is accumulated.
+        Candidate failures here are evidence (error counts), never raised.
+        """
+        compared = 0
+        processed_batches = 0
+        while max_batches is None or processed_batches < max_batches:
+            try:
+                users, k, primary_items = self._mirror.get_nowait()
+            except queue.Empty:
+                break
+            processed_batches += 1
+            started = time.perf_counter()
+            try:
+                candidate_results = self._candidate_call(users, k)
+            except Exception:
+                with self._lock:
+                    self.stats.candidate_attempts += len(users)
+                    self.stats.candidate_errors += len(users)
+                    # Failed mirrors still count as evidence so a candidate
+                    # that *only* errors cannot starve the analyzer forever.
+                    self.stats.shadow_compared += len(users)
+                self._m_errors.inc(len(users))
+                self._m_compared.inc(len(users))
+                continue
+            elapsed = time.perf_counter() - started
+            overlaps = [
+                ranking_overlap(items, rec.items, min(k, self.overlap_k))
+                for items, rec in zip(primary_items, candidate_results)
+            ]
+            with self._lock:
+                self.stats.shadow_compared += len(users)
+                self.stats.candidate_attempts += len(users)
+                self.stats.overlap_sum += float(sum(overlaps))
+                self.stats.candidate_latency_sum += elapsed / len(users)
+                self.stats.candidate_latency_calls += 1
+                self._absorb_candidate_counters()
+            self._m_compared.inc(len(users))
+            self._m_candidate_latency.observe(elapsed)
+            for overlap in overlaps:
+                self._m_overlap.observe(overlap)
+            compared += len(users)
+        return compared
+
+    # ------------------------------------------------------------------ #
+    # Journaling support
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Resume-safe state: cohort geometry + accumulated guardrails.
+
+        The mirror queue is deliberately *not* persisted — queued mirrors are
+        sheddable by contract, and a crash is the ultimate load shed.
+        """
+        return {
+            "salt": self.salt,
+            "mode": self.mode,
+            "fractions": list(self.fractions),
+            "fraction_index": self.fraction_index,
+            "overlap_k": self.overlap_k,
+            "phase_started_samples": self._phase_started_samples,
+            "guardrails": self.stats.as_dict(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same salt ⇒ same cohort)."""
+        if state.get("salt") != self.salt:
+            raise ValueError(
+                f"state was journaled for salt {state.get('salt')!r}, "
+                f"this splitter uses {self.salt!r} — cohorts would flap"
+            )
+        self.mode = state["mode"]
+        self.fractions = tuple(state["fractions"])
+        self.fraction_index = int(state["fraction_index"])
+        self.overlap_k = int(state["overlap_k"])
+        self._phase_started_samples = int(state["phase_started_samples"])
+        self.stats = GuardrailStats.from_dict(state["guardrails"])
+        self._m_fraction.set(self.fraction)

@@ -135,6 +135,9 @@ class ServiceStats:
     degraded_queries: int = 0
     #: Retrieval calls that raised (each one also fed the breaker a failure).
     retrieval_errors: int = 0
+    #: Warm queries whose deadline budget expired before retrieval ran; they
+    #: were answered from popularity instead (admission-control load shed).
+    deadline_shed: int = 0
     extra: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -147,6 +150,7 @@ class ServiceStats:
             "interactions_recorded": self.interactions_recorded,
             "degraded_queries": self.degraded_queries,
             "retrieval_errors": self.retrieval_errors,
+            "deadline_shed": self.deadline_shed,
         }
 
 
@@ -189,6 +193,14 @@ class RecommendationService:
         default one).  When retrieval raises, the failing batch — and, while
         the breaker is open, every subsequent warm query — is served from the
         popularity ranking instead of propagating the error.
+    deadline_budget_s:
+        Default per-request deadline budget in seconds (``None`` disables
+        admission control).  If a request has already spent its budget by the
+        time its warm users would hit the index — lock wait included — the
+        index search is *shed* and those users are answered from the
+        popularity ranking instead.  Under overload a late cheap answer beats
+        a later expensive one; a user query is never failed outright.
+        Overridable per call via ``recommend_many(..., deadline_s=...)``.
     """
 
     def __init__(
@@ -204,6 +216,7 @@ class RecommendationService:
         popularity_provider=None,
         event_log=None,
         breaker: CircuitBreaker | None = None,
+        deadline_budget_s: float | None = None,
     ) -> None:
         if index is not None and index_factory is not None:
             raise ValueError("pass either a pre-built index or an index_factory, not both")
@@ -211,6 +224,9 @@ class RecommendationService:
             raise ValueError("default_k must be positive")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if deadline_budget_s is not None and deadline_budget_s <= 0:
+            raise ValueError("deadline_budget_s must be positive (or None to disable)")
+        self.deadline_budget_s = deadline_budget_s
         self.default_k = default_k
         self.batch_size = batch_size
         self.mask_train = mask_train
@@ -245,6 +261,11 @@ class RecommendationService:
             "serve.retrieval.errors.total", "retrieval calls that raised"
         )
         self._m_swaps = registry.counter("serve.snapshot.swaps.total", "hot snapshot swaps")
+        self._m_shed = registry.counter(
+            "serve.shed.total",
+            "warm queries shed by admission control",
+            labels={"reason": "deadline"},
+        )
         self._install(snapshot, index)
 
     # ------------------------------------------------------------------ #
@@ -401,19 +422,43 @@ class RecommendationService:
             snapshot_id=self.snapshot.snapshot_id,
         )
 
-    def recommend(self, user_id: int, k: int | None = None) -> Recommendation:
-        """Serve one user immediately (cache → fallback → single-row batch)."""
-        return self.recommend_many([user_id], k=k)[0]
+    def popularity_recommendation(self, user_id: int, k: int | None = None) -> Recommendation:
+        """Serve the popularity ranking directly, bypassing retrieval.
 
-    def recommend_many(self, user_ids, k: int | None = None) -> list[Recommendation]:
-        """Serve several users with at most one index search (micro-batch).
-
-        Cached and cold-start users are answered without touching the index;
-        the remaining users share a single batched ``search`` call.
+        Public degraded-path entry point for callers that must answer
+        *something* without touching the index — e.g. the canary splitter
+        answering a cohort query whose candidate arm just failed.  Counted as
+        a query and a fallback, never cached.
         """
         k = self.default_k if k is None else int(k)
         if k <= 0:
             raise ValueError("k must be positive")
+        with self._lock:
+            self.stats.queries += 1
+            self._m_queries.inc()
+            return self._popularity_fallback(int(user_id), k)
+
+    def recommend(self, user_id: int, k: int | None = None) -> Recommendation:
+        """Serve one user immediately (cache → fallback → single-row batch)."""
+        return self.recommend_many([user_id], k=k)[0]
+
+    def recommend_many(
+        self, user_ids, k: int | None = None, deadline_s: float | None = None
+    ) -> list[Recommendation]:
+        """Serve several users with at most one index search (micro-batch).
+
+        Cached and cold-start users are answered without touching the index;
+        the remaining users share a single batched ``search`` call.
+        ``deadline_s`` overrides the service-wide ``deadline_budget_s`` for
+        this call (admission control: budget already spent ⇒ the index search
+        is shed and warm users get popularity answers).
+        """
+        k = self.default_k if k is None else int(k)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        budget = self.deadline_budget_s if deadline_s is None else float(deadline_s)
+        if budget is not None and budget <= 0:
+            raise ValueError("deadline_s must be positive (or None to disable)")
         user_ids = [int(user) for user in np.atleast_1d(np.asarray(user_ids, dtype=np.int64))]
         started = time.perf_counter()
         with self._lock, span("serve.recommend_many", users=len(user_ids), k=k):
@@ -444,7 +489,14 @@ class RecommendationService:
             if warm:
                 batch = np.asarray(warm, dtype=np.int64)
                 rows = None
-                if self.breaker.allow():
+                # Admission control: check the budget at the moment the index
+                # search would start, so lock wait counts against it.  A blown
+                # deadline sheds the expensive search, not the user.
+                shed = budget is not None and (time.perf_counter() - started) >= budget
+                if shed:
+                    self.stats.deadline_shed += len(warm)
+                    self._m_shed.inc(len(warm))
+                elif self.breaker.allow():
                     try:
                         with span("serve.retrieval", users=len(warm)):
                             rows = self.retriever.topk_for_users(batch, k)
@@ -474,10 +526,12 @@ class RecommendationService:
                         results[user] = recommendation
                         self._cache.put((user, k), recommendation)
                 else:
-                    # Breaker open or retrieval failed: popularity fallback,
-                    # uncached so recovery serves real results immediately.
-                    self.stats.degraded_queries += len(warm)
-                    self._m_degraded.inc(len(warm))
+                    # Breaker open, retrieval failed or deadline shed:
+                    # popularity fallback, uncached so recovery serves real
+                    # results immediately.
+                    if not shed:
+                        self.stats.degraded_queries += len(warm)
+                        self._m_degraded.inc(len(warm))
                     for user in warm:
                         results[user] = self._popularity_fallback(user, k)
             self.stats.queries += len(user_ids)

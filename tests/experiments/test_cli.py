@@ -270,6 +270,58 @@ class TestRetrainLoopCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["retrain-loop"])
 
+    def test_retrain_loop_canary_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "retrain-loop",
+                "--directory",
+                "/tmp/lc",
+                "--canary-fraction",
+                "0.2",
+                "--canary-mode",
+                "canary",
+                "--schedule",
+                "@every 30m",
+                "--max-cycles",
+                "3",
+            ]
+        )
+        assert args.canary_fraction == pytest.approx(0.2)
+        assert args.canary_mode == "canary"
+        assert args.schedule == "@every 30m"
+        assert args.max_cycles == 3
+
+    def test_retrain_loop_canary_defaults_off(self):
+        args = build_parser().parse_args(["retrain-loop", "--directory", "/tmp/lc"])
+        assert args.canary_fraction == 0.0
+        assert args.canary_mode == "shadow"
+        assert args.schedule is None
+        assert args.max_cycles == 1
+
+    def test_retrain_loop_rejects_unknown_canary_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["retrain-loop", "--directory", "/tmp/lc", "--canary-mode", "mirror"]
+            )
+
+
+class TestCanaryStatusCommand:
+    def test_parses_directory(self):
+        args = build_parser().parse_args(["canary-status", "--directory", "/tmp/lc"])
+        assert args.command == "canary-status"
+        assert args.directory == "/tmp/lc"
+
+    def test_requires_directory(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["canary-status"])
+
+    def test_runs_on_empty_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["canary-status", "--directory", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run" in out
+
 
 class TestObservabilityCommands:
     @pytest.fixture(scope="class")

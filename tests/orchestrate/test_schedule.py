@@ -1,0 +1,157 @@
+"""Cron parsing, interval schedules, and the deduplicating retrain scheduler."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro.orchestrate import CronSpec, IntervalSchedule, RetrainScheduler, parse_schedule
+
+
+def ts(*args) -> float:
+    return datetime(*args).timestamp()
+
+
+class TestCronSpec:
+    def test_every_minute_matches_everything(self):
+        spec = CronSpec.parse("* * * * *")
+        assert spec.matches(ts(2026, 8, 8, 13, 37))
+        assert spec.next_fire(ts(2026, 8, 8, 13, 37)) == ts(2026, 8, 8, 13, 38)
+
+    def test_fixed_daily_time(self):
+        spec = CronSpec.parse("30 2 * * *")
+        assert spec.next_fire(ts(2026, 8, 8, 1, 0)) == ts(2026, 8, 8, 2, 30)
+        # Already past today's slot: tomorrow.
+        assert spec.next_fire(ts(2026, 8, 8, 3, 0)) == ts(2026, 8, 9, 2, 30)
+
+    def test_next_fire_is_strictly_after(self):
+        spec = CronSpec.parse("30 2 * * *")
+        assert spec.next_fire(ts(2026, 8, 8, 2, 30)) == ts(2026, 8, 9, 2, 30)
+
+    def test_steps_ranges_and_lists(self):
+        spec = CronSpec.parse("*/15 9-17 * * 1,3,5")
+        assert spec.minutes == frozenset({0, 15, 30, 45})
+        assert spec.hours == frozenset(range(9, 18))
+        assert spec.days_of_week == frozenset({1, 3, 5})
+        # 2026-08-10 is a Monday (cron dow 1).
+        assert spec.next_fire(ts(2026, 8, 8, 0, 0)) == ts(2026, 8, 10, 9, 0)
+
+    def test_dom_dow_or_semantics(self):
+        # Standard cron quirk: both restricted ⇒ either may match.
+        spec = CronSpec.parse("0 0 15 * 0")
+        # From the 10th (a Monday): Sunday the 13th? 2026-09-13 is a Sunday;
+        # but from 2026-08-10 the next Sunday is 2026-08-16, while dom=15
+        # lands on 2026-08-15 — the earlier of the two wins.
+        assert spec.next_fire(ts(2026, 8, 10, 0, 0)) == ts(2026, 8, 15, 0, 0)
+        # Right after the 15th, the dow leg (Sunday the 16th) fires first.
+        assert spec.next_fire(ts(2026, 8, 15, 0, 0)) == ts(2026, 8, 16, 0, 0)
+
+    def test_aliases(self):
+        assert CronSpec.parse("@daily").next_fire(ts(2026, 8, 8, 5, 0)) == ts(2026, 8, 9, 0, 0)
+        assert CronSpec.parse("@hourly").next_fire(ts(2026, 8, 8, 5, 10)) == ts(2026, 8, 8, 6, 0)
+
+    def test_weekday_convention_sunday_is_zero(self):
+        spec = CronSpec.parse("0 12 * * 0")
+        # 2026-08-09 is a Sunday.
+        assert spec.next_fire(ts(2026, 8, 8, 0, 0)) == ts(2026, 8, 9, 12, 0)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "* * * *", "60 * * * *", "* 24 * * *", "* * 0 * *", "* * * 13 *",
+         "* * * * 7", "a * * * *", "*/0 * * * *", "5-1 * * * *"],
+    )
+    def test_rejects_malformed_specs(self, text):
+        with pytest.raises(ValueError):
+            CronSpec.parse(text)
+
+    def test_impossible_spec_raises_instead_of_spinning(self):
+        with pytest.raises(ValueError, match="never fires"):
+            CronSpec.parse("0 0 30 2 *").next_fire(ts(2026, 1, 1, 0, 0))
+
+
+class TestParseSchedule:
+    def test_every_forms(self):
+        assert parse_schedule("@every 30m").period == 1800.0
+        assert parse_schedule("@every 2h").period == 7200.0
+        assert parse_schedule("@every 45s").period == 45.0
+        assert parse_schedule("@every 90").period == 90.0
+        assert parse_schedule("@every 1d").period == 86400.0
+
+    def test_cron_passthrough(self):
+        assert isinstance(parse_schedule("0 3 * * *"), CronSpec)
+        assert isinstance(parse_schedule("@daily"), CronSpec)
+
+    @pytest.mark.parametrize("text", ["@every", "@every xm", "@every -5m"])
+    def test_rejects_bad_every(self, text):
+        if text == "@every -5m":
+            with pytest.raises(ValueError):
+                IntervalSchedule(period=-300.0)
+            return
+        with pytest.raises(ValueError):
+            parse_schedule(text)
+
+
+class TestRetrainScheduler:
+    def make(self, schedule="@every 60s", start=1000.0, seq_fn=None):
+        clock = {"now": start}
+        scheduler = RetrainScheduler(schedule, clock=lambda: clock["now"], seq_fn=seq_fn)
+        return clock, scheduler
+
+    def test_fires_once_per_period(self):
+        clock, scheduler = self.make()
+        assert scheduler.check() is None  # not yet due
+        clock["now"] += 61
+        signal = scheduler.check()
+        assert signal is not None
+        assert signal.reasons == ("scheduled",)
+        # Consumed: same instant does not fire twice.
+        assert scheduler.check() is None
+        clock["now"] += 61
+        assert scheduler.check() is not None
+        assert scheduler.fired == 2
+
+    def test_missed_periods_coalesce_into_one_firing(self):
+        clock, scheduler = self.make()
+        clock["now"] += 60 * 10  # controller was down for ten periods
+        assert scheduler.check() is not None
+        assert scheduler.check() is None  # exactly one catch-up firing
+        assert scheduler.fired == 1
+
+    def test_skip_consumes_slot_without_signal(self):
+        clock, scheduler = self.make()
+        clock["now"] += 61
+        assert scheduler.skip() is True  # a run was in flight: dedupe
+        assert scheduler.check() is None  # the slot is spent
+        assert scheduler.skipped == 1
+        assert scheduler.fired == 0
+        clock["now"] += 61
+        assert scheduler.check() is not None  # next period fires normally
+
+    def test_skip_is_noop_when_nothing_due(self):
+        _, scheduler = self.make()
+        assert scheduler.skip() is False
+        assert scheduler.skipped == 0
+
+    def test_signal_carries_event_log_seq(self):
+        clock, scheduler = self.make(seq_fn=lambda: 4242)
+        clock["now"] += 61
+        assert scheduler.check().as_of_seq == 4242
+
+    def test_default_seq_is_unknown(self):
+        clock, scheduler = self.make()
+        clock["now"] += 61
+        assert scheduler.check().as_of_seq == -1
+
+    def test_cron_schedule_through_scheduler(self):
+        start = ts(2026, 8, 8, 1, 0)
+        clock = {"now": start}
+        scheduler = RetrainScheduler("0 2 * * *", clock=lambda: clock["now"])
+        assert scheduler.check() is None
+        clock["now"] = ts(2026, 8, 8, 2, 0)
+        assert scheduler.check() is not None
+        assert scheduler.next_due == ts(2026, 8, 9, 2, 0)
+
+    def test_string_schedule_is_parsed(self):
+        _, scheduler = self.make("@hourly")
+        assert isinstance(scheduler.schedule, CronSpec)

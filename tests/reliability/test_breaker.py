@@ -166,6 +166,8 @@ class TestStats:
             "open_count": 0,
             "half_open_streak": 0,
             "half_open_inflight": 0,
+            "half_open_successes": 2,
+            "half_open_max_calls": 2,
             "allowed_calls": 0,
             "refused_calls": 0,
         }
@@ -195,6 +197,40 @@ class TestStats:
         stats = breaker.stats()
         assert stats["state"] == CircuitBreaker.HALF_OPEN
         assert stats["half_open_inflight"] == 1
+
+    def test_stats_expose_probe_configuration(self, clock):
+        breaker = make_breaker(clock, half_open_successes=3, half_open_max_calls=5)
+        stats = breaker.stats()
+        # Operators reading stats() can tell what a recovery needs without
+        # reaching into the breaker's constructor arguments.
+        assert stats["half_open_successes"] == 3
+        assert stats["half_open_max_calls"] == 5
+
+    def test_streak_counts_toward_configured_successes(self, clock):
+        breaker = make_breaker(clock, half_open_successes=3, half_open_max_calls=3)
+        breaker.trip()
+        clock.advance(31.0)
+        for expected_streak in (1, 2):
+            assert breaker.allow()
+            breaker.record_success()
+            stats = breaker.stats()
+            assert stats["state"] == CircuitBreaker.HALF_OPEN
+            assert stats["half_open_streak"] == expected_streak
+        # The third consecutive success (== half_open_successes) closes.
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.stats()["state"] == CircuitBreaker.CLOSED
+
+    def test_half_open_max_calls_bounds_concurrent_probes(self, clock):
+        breaker = make_breaker(clock, half_open_max_calls=1)
+        breaker.trip()
+        clock.advance(31.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # the single probe slot is taken
+        stats = breaker.stats()
+        assert stats["half_open_inflight"] == 1
+        assert stats["half_open_max_calls"] == 1
+        assert stats["refused_calls"] == 1
 
     @staticmethod
     def _boom():

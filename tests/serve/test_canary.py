@@ -1,0 +1,349 @@
+"""Traffic splitter, guardrail accounting and the canary analyzer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    CanaryAnalyzer,
+    GuardrailPolicy,
+    GuardrailStats,
+    RecommendationService,
+    TrafficSplitter,
+    build_snapshot,
+    cohort_hash,
+    ranking_overlap,
+)
+
+NUM_USERS, NUM_ITEMS, DIM = 40, 30, 6
+
+
+def make_snapshot(seed: int, history: int = 3):
+    rng = np.random.default_rng(seed)
+    pairs = np.stack(
+        [
+            np.repeat(np.arange(NUM_USERS), history),
+            rng.integers(0, NUM_ITEMS, size=history * NUM_USERS),
+        ],
+        axis=1,
+    )
+    return build_snapshot(
+        rng.normal(size=(NUM_USERS, DIM)),
+        rng.normal(size=(NUM_ITEMS, DIM)),
+        train_pairs=pairs,
+    )
+
+
+def make_splitter(mode="shadow", candidate_seed=0, fractions=(0.5, 1.0), **kwargs):
+    primary = RecommendationService(make_snapshot(0), default_k=5, cache_size=0)
+    return primary, TrafficSplitter(
+        primary,
+        make_snapshot(candidate_seed),
+        salt="run-test",
+        mode=mode,
+        fractions=fractions,
+        overlap_k=5,
+        **kwargs,
+    )
+
+
+class TestCohortHash:
+    def test_deterministic_and_in_range(self):
+        for user in range(200):
+            value = cohort_hash("salt", user)
+            assert 0.0 <= value < 1.0
+            assert value == cohort_hash("salt", user)
+
+    def test_salt_changes_assignment(self):
+        users = range(500)
+        a = {u for u in users if cohort_hash("run-1", u) < 0.3}
+        b = {u for u in users if cohort_hash("run-2", u) < 0.3}
+        assert a != b  # different rollouts draw different cohorts
+
+    def test_cohorts_are_nested_under_ramp(self):
+        # Every user in at 10% is still in at 50% — ramping never reshuffles.
+        users = range(1000)
+        small = {u for u in users if cohort_hash("s", u) < 0.1}
+        large = {u for u in users if cohort_hash("s", u) < 0.5}
+        assert small <= large
+
+    def test_fraction_is_approximately_respected(self):
+        users = range(5000)
+        hit = sum(1 for u in users if cohort_hash("s", u) < 0.2)
+        assert 0.15 < hit / 5000 < 0.25
+
+
+class TestRankingOverlap:
+    def test_identical_and_disjoint(self):
+        a = np.array([1, 2, 3, 4, 5])
+        assert ranking_overlap(a, a, k=5) == 1.0
+        assert ranking_overlap(a, a + 100, k=5) == 0.0
+
+    def test_order_insensitive(self):
+        assert ranking_overlap(np.array([1, 2, 3]), np.array([3, 1, 2]), k=3) == 1.0
+
+    def test_short_lists_count_as_disagreement(self):
+        assert ranking_overlap(np.array([1, 2]), np.array([1, 2]), k=4) == 0.5
+
+    def test_empty_lists_agree(self):
+        empty = np.array([], dtype=np.int64)
+        assert ranking_overlap(empty, empty, k=3) == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            ranking_overlap(np.array([1]), np.array([1]), k=0)
+
+
+class TestShadowMode:
+    def test_all_queries_served_by_primary(self):
+        primary, splitter = make_splitter(candidate_seed=1)
+        users = list(range(NUM_USERS))
+        results = splitter.recommend_many(users, k=5)
+        assert len(results) == NUM_USERS
+        assert all(r.snapshot_id == primary.snapshot.snapshot_id for r in results)
+        assert splitter.stats.primary_queries == NUM_USERS
+        assert splitter.stats.cohort_queries == 0
+        # Cohort queries were mirrored, not yet compared.
+        assert splitter.stats.mirror_enqueued > 0
+        assert splitter.mirror_depth > 0
+
+    def test_drain_scores_identical_candidate_at_full_overlap(self):
+        _, splitter = make_splitter(candidate_seed=0)  # same embeddings
+        splitter.recommend_many(list(range(NUM_USERS)), k=5)
+        compared = splitter.drain()
+        assert compared == splitter.stats.mirror_enqueued > 0
+        assert splitter.stats.shadow_compared == compared
+        assert splitter.stats.mean_overlap == 1.0
+        assert splitter.mirror_depth == 0
+
+    def test_different_candidate_scores_below_full_overlap(self):
+        _, splitter = make_splitter(candidate_seed=7)
+        splitter.recommend_many(list(range(NUM_USERS)), k=5)
+        splitter.drain()
+        assert 0.0 <= splitter.stats.mean_overlap < 1.0
+
+    def test_full_mirror_queue_sheds_instead_of_blocking(self):
+        _, splitter = make_splitter(candidate_seed=1, mirror_queue_size=1)
+        users = list(range(NUM_USERS))
+        # Each call enqueues at most one batch; the second call must shed.
+        splitter.recommend_many(users, k=5)
+        splitter.recommend_many(users, k=5)
+        assert splitter.stats.mirror_dropped > 0
+        # Shedding never failed a user query.
+        assert splitter.stats.primary_queries == 2 * NUM_USERS
+
+    def test_drain_max_batches_bounds_work(self):
+        _, splitter = make_splitter(candidate_seed=1, mirror_queue_size=8)
+        for _ in range(3):
+            splitter.recommend_many(list(range(NUM_USERS)), k=5)
+        splitter.drain(max_batches=1)
+        assert splitter.mirror_depth == 2
+
+
+class TestCanaryMode:
+    def test_cohort_served_by_candidate_rest_by_primary(self):
+        primary, splitter = make_splitter(mode="canary", candidate_seed=1)
+        users = list(range(NUM_USERS))
+        results = splitter.recommend_many(users, k=5)
+        cohort = {u for u in users if splitter.in_cohort(u)}
+        assert cohort  # 50% fraction over 40 users
+        candidate_id = splitter.candidate.snapshot.snapshot_id
+        for user, rec in zip(users, results):
+            expected = candidate_id if user in cohort else primary.snapshot.snapshot_id
+            assert rec.snapshot_id == expected
+        assert splitter.stats.cohort_queries == len(cohort)
+        assert splitter.stats.candidate_attempts == len(cohort)
+
+    def test_candidate_failure_degrades_to_popularity_not_error(self, monkeypatch):
+        primary, splitter = make_splitter(mode="canary", candidate_seed=1)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("candidate melted")
+
+        monkeypatch.setattr(splitter.candidate, "recommend_many", boom)
+        users = list(range(NUM_USERS))
+        results = splitter.recommend_many(users, k=5)
+        # Every user still got an answer; cohort answers are popularity
+        # fallbacks served through the *primary* service.
+        assert len(results) == NUM_USERS
+        cohort = {u for u in users if splitter.in_cohort(u)}
+        for user, rec in zip(users, results):
+            if user in cohort:
+                assert rec.source == "popularity"
+                assert rec.snapshot_id == primary.snapshot.snapshot_id
+        assert splitter.stats.candidate_errors == len(cohort)
+        assert splitter.stats.error_rate == 1.0
+
+    def test_candidate_degradations_are_absorbed_into_guardrails(self, monkeypatch):
+        _, splitter = make_splitter(mode="canary", candidate_seed=1)
+
+        def broken_retrieval(*args, **kwargs):
+            raise RuntimeError("index corrupt")
+
+        # The candidate *service* degrades internally (answers popularity);
+        # the splitter must still count that as candidate degradation.
+        monkeypatch.setattr(
+            splitter.candidate.retriever, "topk_for_users", broken_retrieval
+        )
+        splitter.recommend_many(list(range(NUM_USERS)), k=5)
+        assert splitter.stats.candidate_degraded > 0
+        assert splitter.stats.candidate_errors == 0  # service never raised
+
+
+class TestRamp:
+    def test_ramp_advances_and_resets_phase_window(self):
+        _, splitter = make_splitter(candidate_seed=0, fractions=(0.25, 0.75))
+        splitter.recommend_many(list(range(NUM_USERS)), k=5)
+        splitter.drain()
+        before = splitter.stats.samples
+        assert before > 0
+        assert splitter.samples_this_phase == before
+        assert not splitter.at_final_fraction
+        assert splitter.ramp() == 0.75
+        assert splitter.samples_this_phase == 0  # window reset
+        assert splitter.stats.samples == before  # cumulative evidence kept
+        assert splitter.at_final_fraction
+        with pytest.raises(RuntimeError):
+            splitter.ramp()
+
+    def test_cohort_only_grows_across_ramp(self):
+        _, splitter = make_splitter(candidate_seed=0, fractions=(0.2, 0.8))
+        small = {u for u in range(NUM_USERS) if splitter.in_cohort(u)}
+        splitter.ramp()
+        large = {u for u in range(NUM_USERS) if splitter.in_cohort(u)}
+        assert small <= large
+        assert len(large) > len(small)
+
+
+class TestStateRoundtrip:
+    def test_state_dict_restore_preserves_guardrails_and_cohort(self):
+        _, splitter = make_splitter(candidate_seed=1, fractions=(0.3, 0.9))
+        splitter.recommend_many(list(range(NUM_USERS)), k=5)
+        splitter.drain()
+        splitter.ramp()
+        state = splitter.state_dict()
+
+        _, rebuilt = make_splitter(candidate_seed=1, fractions=(0.3, 0.9))
+        rebuilt.restore(state)
+        assert rebuilt.fraction == splitter.fraction
+        assert rebuilt.stats.as_dict() == splitter.stats.as_dict()
+        assert rebuilt.samples_this_phase == splitter.samples_this_phase
+        # Deterministic cohort: no user flaps between arms across restore.
+        for user in range(NUM_USERS):
+            assert rebuilt.in_cohort(user) == splitter.in_cohort(user)
+
+    def test_restore_refuses_foreign_salt(self):
+        _, splitter = make_splitter()
+        state = splitter.state_dict()
+        state["salt"] = "some-other-run"
+        with pytest.raises(ValueError, match="flap"):
+            splitter.restore(state)
+
+    def test_guardrail_stats_dict_roundtrip(self):
+        stats = GuardrailStats(
+            shadow_compared=10, overlap_sum=7.5, candidate_attempts=12, candidate_errors=2
+        )
+        restored = GuardrailStats.from_dict(stats.as_dict())
+        assert restored == stats
+        assert restored.mean_overlap == 0.75
+
+
+class TestAnalyzer:
+    def healthy(self, samples=100):
+        return GuardrailStats(
+            shadow_compared=samples,
+            overlap_sum=0.9 * samples,
+            candidate_attempts=samples,
+            primary_latency_sum=0.001,
+            primary_latency_calls=1,
+            candidate_latency_sum=0.001,
+            candidate_latency_calls=1,
+        )
+
+    def test_extend_while_evidence_is_thin(self):
+        analyzer = CanaryAnalyzer(GuardrailPolicy(min_samples=50))
+        decision = analyzer.decide(self.healthy(10), samples_this_phase=10, final_phase=True)
+        assert decision.action == "extend"
+
+    def test_ramp_then_promote(self):
+        analyzer = CanaryAnalyzer(GuardrailPolicy(min_samples=50))
+        stats = self.healthy(60)
+        assert analyzer.decide(stats, 60, final_phase=False).action == "ramp"
+        assert analyzer.decide(stats, 60, final_phase=True).action == "promote"
+
+    def test_abort_on_overlap_collapse(self):
+        analyzer = CanaryAnalyzer(GuardrailPolicy(min_overlap=0.5, min_abort_samples=10))
+        stats = GuardrailStats(
+            shadow_compared=20, overlap_sum=2.0, candidate_attempts=20
+        )  # overlap 0.1
+        decision = analyzer.decide(stats, 20, final_phase=True)
+        assert decision.action == "abort"
+        assert any("overlap" in reason for reason in decision.reasons)
+
+    def test_abort_on_error_rate(self):
+        analyzer = CanaryAnalyzer(GuardrailPolicy(max_error_rate=0.02))
+        stats = self.healthy(100)
+        stats.candidate_errors = 10
+        decision = analyzer.decide(stats, 100, final_phase=True)
+        assert decision.action == "abort"
+        assert any("error rate" in reason for reason in decision.reasons)
+
+    def test_abort_on_latency_ratio_above_floor(self):
+        analyzer = CanaryAnalyzer(
+            GuardrailPolicy(max_latency_ratio=3.0, latency_floor_s=0.002)
+        )
+        stats = self.healthy(100)
+        stats.candidate_latency_sum = 0.1  # 100ms vs 1ms primary
+        decision = analyzer.decide(stats, 100, final_phase=True)
+        assert decision.action == "abort"
+        assert any("latency" in reason for reason in decision.reasons)
+
+    def test_latency_ratio_below_floor_is_noise_not_breach(self):
+        analyzer = CanaryAnalyzer(
+            GuardrailPolicy(max_latency_ratio=3.0, latency_floor_s=0.002)
+        )
+        stats = self.healthy(100)
+        # 10x ratio but both arms in the microsecond regime.
+        stats.primary_latency_sum = 1e-5
+        stats.candidate_latency_sum = 1e-4
+        assert analyzer.decide(stats, 100, final_phase=True).action == "promote"
+
+    def test_abort_needs_min_abort_samples(self):
+        analyzer = CanaryAnalyzer(GuardrailPolicy(min_abort_samples=10, min_samples=50))
+        stats = GuardrailStats(shadow_compared=5, overlap_sum=0.0, candidate_attempts=5)
+        # Catastrophic overlap but only 5 samples: keep collecting.
+        assert analyzer.decide(stats, 5, final_phase=True).action == "extend"
+
+    def test_abort_trumps_thin_phase_window(self):
+        # Cumulative evidence can abort even right after a ramp reset the
+        # per-phase window — a bad candidate cannot hide behind a ramp.
+        analyzer = CanaryAnalyzer(GuardrailPolicy(min_abort_samples=10, min_samples=50))
+        stats = GuardrailStats(shadow_compared=30, overlap_sum=0.0, candidate_attempts=30)
+        assert analyzer.decide(stats, 0, final_phase=False).action == "abort"
+
+
+class TestValidation:
+    def test_rejects_bad_mode_and_fractions(self):
+        primary = RecommendationService(make_snapshot(0), default_k=5)
+        candidate = make_snapshot(1)
+        with pytest.raises(ValueError, match="mode"):
+            TrafficSplitter(primary, candidate, salt="s", mode="yolo")
+        for fractions in [(), (0.0,), (1.2,), (0.5, 0.5), (0.8, 0.2)]:
+            with pytest.raises(ValueError):
+                TrafficSplitter(primary, candidate, salt="s", fractions=fractions)
+        with pytest.raises(ValueError):
+            TrafficSplitter(primary, candidate, salt="s", mirror_queue_size=0)
+        with pytest.raises(ValueError):
+            TrafficSplitter(primary, candidate, salt="s", overlap_k=0)
+
+    def test_policy_validation(self):
+        for kwargs in [
+            {"min_samples": 0},
+            {"min_overlap": 1.5},
+            {"max_error_rate": -0.1},
+            {"max_latency_ratio": 0.0},
+            {"latency_floor_s": -1.0},
+        ]:
+            with pytest.raises(ValueError):
+                GuardrailPolicy(**kwargs)

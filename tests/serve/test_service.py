@@ -495,6 +495,76 @@ class TestGracefulDegradation:
         assert stats["retrieval_errors"] == 0
 
 
+class TestAdmissionControl:
+    """Deadline budgets shed the index search, never the user's answer."""
+
+    def test_blown_budget_sheds_to_popularity(self, snapshot):
+        # A budget no real request can meet: every warm query is shed.
+        service = RecommendationService(snapshot, deadline_budget_s=1e-9)
+        recommendation = service.recommend(0, k=4)
+        assert recommendation.source == "popularity"
+        assert len(recommendation.items) == 4
+        assert service.stats.deadline_shed == 1
+        # Shedding is admission control, not a failure mode.
+        assert service.stats.degraded_queries == 0
+        assert service.stats.retrieval_errors == 0
+
+    def test_per_call_deadline_overrides_service_default(self, snapshot):
+        service = RecommendationService(snapshot)
+        shed = service.recommend_many([0, 1], k=4, deadline_s=1e-9)
+        assert all(rec.source == "popularity" for rec in shed)
+        assert service.stats.deadline_shed == 2
+        # A generous per-call deadline serves the model as usual.
+        served = service.recommend_many([0, 1], k=4, deadline_s=30.0)
+        assert all(rec.source == "model" for rec in served)
+
+    def test_shed_answers_are_not_cached(self, snapshot):
+        service = RecommendationService(snapshot)
+        assert service.recommend_many([0], k=4, deadline_s=1e-9)[0].source == "popularity"
+        # The next unconstrained query gets real results, not a stale shed.
+        assert service.recommend(0, k=4).source == "model"
+
+    def test_generous_budget_never_sheds(self, snapshot):
+        service = RecommendationService(snapshot, deadline_budget_s=30.0)
+        assert service.recommend(0, k=4).source == "model"
+        assert service.stats.deadline_shed == 0
+
+    def test_shed_appears_in_stats_dict(self, snapshot):
+        service = RecommendationService(snapshot, deadline_budget_s=1e-9)
+        service.recommend(0, k=4)
+        assert service.stats.as_dict()["deadline_shed"] == 1
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_rejects_non_positive_budgets(self, snapshot, budget):
+        with pytest.raises(ValueError):
+            RecommendationService(snapshot, deadline_budget_s=budget)
+        service = RecommendationService(snapshot)
+        with pytest.raises(ValueError):
+            service.recommend_many([0], deadline_s=budget)
+
+
+class TestPopularityRecommendation:
+    def test_serves_popularity_directly(self, snapshot):
+        service = RecommendationService(snapshot, default_k=8)
+        recommendation = service.popularity_recommendation(3)
+        assert recommendation.source == "popularity"
+        assert recommendation.user_id == 3
+        assert len(recommendation.items) == 8
+        assert service.stats.queries == 1
+
+    def test_explicit_k_and_validation(self, snapshot):
+        service = RecommendationService(snapshot)
+        assert len(service.popularity_recommendation(0, k=3).items) == 3
+        with pytest.raises(ValueError):
+            service.popularity_recommendation(0, k=0)
+
+    def test_works_while_breaker_is_open(self, snapshot):
+        # The canary splitter leans on this as its never-fail degraded path.
+        service = RecommendationService(snapshot)
+        service.breaker.trip()
+        assert service.popularity_recommendation(1, k=4).source == "popularity"
+
+
 class TestCacheMetricsAcrossSwaps:
     """Hit/miss accounting survives snapshot swaps without mixing versions.
 

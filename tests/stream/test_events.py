@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import warnings
 
 import numpy as np
 import pytest
@@ -198,6 +199,27 @@ class TestWalDurability:
         # The torn bytes were truncated away: the file is frame-aligned again.
         assert len(wal.read_bytes()) == len(intact) - len(intact) // 3
         recovered.close()
+
+    def test_recovery_is_idempotent_after_truncation(self, tmp_path):
+        # Crash-recovery must converge: once the torn tail has been truncated
+        # away, every further reopen is a clean no-op — same records, no new
+        # WalCorruptionWarning, not a byte of further truncation.
+        wal = tmp_path / "events.wal"
+        with EventLog.open(wal) as log:
+            log.extend([0, 1, 2], [0, 1, 2])
+        wal.write_bytes(wal.read_bytes()[:-5])
+
+        with pytest.warns(WalCorruptionWarning, match="torn"):
+            EventLog.open(wal).close()
+        repaired = wal.read_bytes()
+
+        for _ in range(2):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # any warning fails the test
+                recovered = EventLog.open(wal)
+            assert recovered.next_seq == 2
+            recovered.close()
+            assert wal.read_bytes() == repaired
 
     def test_bit_flip_fails_crc_and_stops_replay(self, tmp_path):
         wal = tmp_path / "events.wal"
