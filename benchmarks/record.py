@@ -17,19 +17,36 @@ document.  If the history is nonetheless found malformed (hand edit, merge
 conflict), it is backed up beside itself with a ``.corrupt`` suffix — old
 rows are preserved for manual recovery — and a fresh list is started with a
 warning.
+
+The history is also *consumed*, not just accumulated: :func:`check_regression`
+compares the newest measurement against the trailing median of its
+predecessors, and ``record(..., guard_tolerance=...)`` appends a
+``kind="regression_warning"`` row (same atomic write) when the new value has
+drifted past tolerance — so a regression lands in the committed history
+itself, where ``repro doctor --bench`` and reviewers both see it.  Warning
+rows carry the same metric name but are excluded from future medians.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import statistics
 import subprocess
 import tempfile
 import warnings
 from datetime import datetime, timezone
 from pathlib import Path
 
-__all__ = ["DEFAULT_HISTORY", "RECORD_SCHEMA", "current_commit", "env_metadata", "record"]
+__all__ = [
+    "DEFAULT_HISTORY",
+    "RECORD_SCHEMA",
+    "check_regression",
+    "current_commit",
+    "env_metadata",
+    "infer_direction",
+    "record",
+]
 
 DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_nn_compile.json"
 
@@ -93,7 +110,74 @@ def _load_history(path: Path) -> list:
     return []
 
 
-def record(metric: str, value: float, path: Path | str | None = None) -> dict:
+def infer_direction(metric: str) -> str:
+    """``"lower"`` or ``"higher"`` — which way is better, from the name.
+
+    Time-ish metrics (latency, seconds, overhead ratios) regress upward;
+    throughput-ish metrics (q/s, events/s, recall) regress downward.  Kept in
+    sync with ``repro.obs.health._bench_direction`` so the doctor and the
+    bench runs agree on what counts as a regression.
+    """
+    name = metric.lower()
+    for token in ("latency", "seconds", "overhead", "time", "ratio_p"):
+        if token in name:
+            return "lower"
+    return "higher"
+
+
+def check_regression(
+    history: list,
+    metric: str,
+    tolerance: float = 0.15,
+    direction: str | None = None,
+    window: int = 5,
+) -> dict | None:
+    """Compare ``history``'s newest ``metric`` row against its trailing median.
+
+    ``history`` is a loaded ``BENCH_*.json`` list.  The newest measurement is
+    checked against the median of up to ``window`` immediately preceding
+    measurement rows (``regression_warning`` rows are ignored on both sides);
+    with fewer than 3 prior rows there is no stable baseline and the check
+    abstains.  Returns ``None`` when healthy, else a dict describing the
+    drift: ``{"metric", "value", "baseline", "drift", "direction",
+    "tolerance"}``.
+    """
+    rows = [
+        r
+        for r in history
+        if isinstance(r, dict)
+        and r.get("metric") == metric
+        and r.get("kind") != "regression_warning"
+    ]
+    if len(rows) < 4:  # newest + >= 3 predecessors
+        return None
+    newest = float(rows[-1]["value"])
+    prior = [float(r["value"]) for r in rows[-(window + 1) : -1]]
+    baseline = statistics.median(prior)
+    if baseline == 0:
+        return None
+    direction = direction or infer_direction(metric)
+    drift = (newest - baseline) / abs(baseline)
+    regressed = drift > tolerance if direction == "lower" else -drift > tolerance
+    if not regressed:
+        return None
+    return {
+        "metric": metric,
+        "value": newest,
+        "baseline": baseline,
+        "drift": drift,
+        "direction": direction,
+        "tolerance": tolerance,
+    }
+
+
+def record(
+    metric: str,
+    value: float,
+    path: Path | str | None = None,
+    guard_tolerance: float | None = None,
+    guard_direction: str | None = None,
+) -> dict:
     """Append one measurement row and return it.
 
     The write is atomic (temp file + ``os.replace``): a crash mid-record can
@@ -101,6 +185,12 @@ def record(metric: str, value: float, path: Path | str | None = None) -> dict:
     backed up with a ``.corrupt`` suffix and a fresh list is started with a
     warning — losing the *view* of old rows is preferable to losing the new
     measurement, and the backup keeps them recoverable.
+
+    With ``guard_tolerance`` set, the new value is checked against the
+    trailing median (:func:`check_regression`) and a drift past tolerance
+    appends a ``kind="regression_warning"`` row in the same atomic write —
+    the history then *records* that the regression happened at this commit
+    instead of silently absorbing the bad number into future baselines.
     """
     path = Path(path) if path is not None else DEFAULT_HISTORY
     row = {
@@ -113,6 +203,36 @@ def record(metric: str, value: float, path: Path | str | None = None) -> dict:
     }
     rows = _load_history(path)
     rows.append(row)
+    if guard_tolerance is not None:
+        found = check_regression(
+            rows, metric, tolerance=guard_tolerance, direction=guard_direction
+        )
+        if found is not None:
+            rows.append(
+                {
+                    "metric": str(metric),
+                    "kind": "regression_warning",
+                    "value": found["value"],
+                    "baseline": found["baseline"],
+                    "drift": found["drift"],
+                    "direction": found["direction"],
+                    "tolerance": found["tolerance"],
+                    "detail": (
+                        f"{metric} {found['value']:.6g} vs trailing median "
+                        f"{found['baseline']:.6g} ({found['drift']:+.1%}, "
+                        f"{found['direction']} is better)"
+                    ),
+                    "commit": row["commit"],
+                    "date": row["date"],
+                    "schema": RECORD_SCHEMA,
+                }
+            )
+            warnings.warn(
+                f"benchmark regression: {metric} {found['value']:.6g} vs "
+                f"trailing median {found['baseline']:.6g} "
+                f"({found['drift']:+.1%})",
+                stacklevel=2,
+            )
     payload = json.dumps(rows, indent=2) + "\n"
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"

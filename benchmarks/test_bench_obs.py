@@ -97,6 +97,53 @@ def test_enabled_observability_overhead_under_ceiling():
     )
 
 
+def test_health_engine_overhead_under_ceiling():
+    """Sampler + SLO evaluator + alerting cost < 5% of serving throughput.
+
+    The engine is ticked once per served batch — far more often than the
+    default 1 s background cadence — so the measured ratio is a *ceiling* on
+    what a deployment pays, not an average diluted by idle time.
+    """
+    from repro.obs import HealthEngine
+
+    snapshot, _ = serving_corpus(OVERHEAD_SCALE)
+    user_ids = [i % snapshot.num_users for i in range(NUM_QUERIES)]
+
+    baseline = RecommendationService(snapshot, default_k=TOP_K, cache_size=0)
+    _serve_all(baseline, user_ids)
+    disabled_time = best_of(lambda: _serve_all(baseline, user_ids))
+
+    with use_registry() as registry:
+        service = RecommendationService(snapshot, default_k=TOP_K, cache_size=0)
+        engine = HealthEngine(registry=registry)
+
+        def serve_and_tick() -> None:
+            for start in range(0, len(user_ids), BATCH_SIZE):
+                service.recommend_many(user_ids[start : start + BATCH_SIZE], k=TOP_K)
+                engine.tick()
+
+        serve_and_tick()  # warm-up
+        enabled_time = best_of(serve_and_tick)
+        # The engine actually worked: every tick sampled and evaluated.
+        assert engine.tsdb.samples_taken >= NUM_QUERIES // BATCH_SIZE
+        assert engine.last_statuses  # default serving SLOs were evaluated
+
+    ratio = enabled_time / disabled_time
+    print(
+        f"\nhealth-engine overhead at scale {OVERHEAD_SCALE}: "
+        f"disabled={NUM_QUERIES / disabled_time:,.0f} q/s  "
+        f"enabled={NUM_QUERIES / enabled_time:,.0f} q/s  "
+        f"(ratio {ratio:.4f}, ceiling {OVERHEAD_CEILING}, "
+        f"{engine.tsdb.samples_taken} samples)"
+    )
+    metric = "health_overhead_ratio_smoke" if SMOKE else "health_overhead_ratio"
+    record(metric, ratio, path=OBS_HISTORY, guard_tolerance=0.15)
+    assert ratio <= OVERHEAD_CEILING, (
+        f"health engine cost {100 * (ratio - 1):.1f}% of serving throughput; "
+        f"ceiling is {100 * (OVERHEAD_CEILING - 1):.0f}%"
+    )
+
+
 def test_per_op_profile_covers_epoch_wall_time():
     """Summed per-op time explains >= 80% of a compiled DaRec epoch."""
     scale = BENCH_SCALE if SMOKE else BENCH_SCALE.smaller(dataset_scale=0.5, embedding_dim=32)

@@ -6,7 +6,15 @@ import json
 
 import pytest
 
-from .record import RECORD_SCHEMA, _load_history, current_commit, env_metadata, record
+from .record import (
+    RECORD_SCHEMA,
+    _load_history,
+    check_regression,
+    current_commit,
+    env_metadata,
+    infer_direction,
+    record,
+)
 
 
 class TestRecord:
@@ -78,3 +86,111 @@ class TestRecord:
     def test_current_commit_is_short_hash_or_unknown(self):
         commit = current_commit()
         assert commit == "unknown" or (4 <= len(commit) <= 16)
+
+
+def history_of(metric, values):
+    return [{"metric": metric, "value": v, "schema": RECORD_SCHEMA} for v in values]
+
+
+class TestCheckRegression:
+    def test_abstains_below_four_rows(self):
+        for n in range(1, 4):
+            history = history_of("lat_seconds", [1.0] * (n - 1) + [100.0])
+            assert check_regression(history, "lat_seconds") is None
+
+    def test_flags_drift_past_tolerance(self):
+        history = history_of("lat_seconds", [1.0, 1.05, 0.95, 1.0, 1.3])
+        found = check_regression(history, "lat_seconds", tolerance=0.15)
+        assert found is not None
+        assert found["baseline"] == pytest.approx(1.0)
+        assert found["value"] == 1.3
+        assert found["drift"] == pytest.approx(0.3)
+        assert found["direction"] == "lower"
+
+    def test_trailing_median_is_robust_to_one_outlier(self):
+        # A single earlier spike must not drag the baseline up.
+        history = history_of("lat_seconds", [1.0, 9.0, 1.0, 1.02, 0.98, 1.05])
+        assert check_regression(history, "lat_seconds", tolerance=0.15) is None
+
+    def test_window_limits_the_baseline(self):
+        # Old slow rows fall outside window=3; the recent fast era is the
+        # baseline, so the newest slow value is flagged.
+        history = history_of("lat_seconds", [5.0, 5.0, 5.0, 5.0, 1.0, 1.0, 1.0, 2.0])
+        assert check_regression(history, "lat_seconds", window=3) is not None
+        # With the full default window the old slow rows mask it.
+        assert check_regression(history, "lat_seconds", window=7) is None
+
+    def test_direction_inference_and_override(self):
+        dropping = history_of("events_per_s", [100.0, 99.0, 101.0, 100.0, 60.0])
+        assert check_regression(dropping, "events_per_s") is not None  # higher-better
+        assert (
+            check_regression(dropping, "events_per_s", direction="lower") is None
+        )
+        assert infer_direction("serve_latency_p99_ms") == "lower"
+        assert infer_direction("obs_overhead_ratio_p50") == "lower"
+        assert infer_direction("serve_throughput_qps") == "higher"
+
+    def test_warning_rows_excluded_from_baseline(self):
+        history = history_of("lat_seconds", [1.0, 1.0, 1.0, 1.0])
+        history.append(
+            {"metric": "lat_seconds", "kind": "regression_warning", "value": 50.0}
+        )
+        history.extend(history_of("lat_seconds", [1.02]))
+        assert check_regression(history, "lat_seconds", tolerance=0.15) is None
+
+    def test_other_metrics_ignored(self):
+        history = history_of("a", [1.0, 1.0, 1.0, 1.0]) + history_of("b", [9.0])
+        assert check_regression(history, "b") is None
+
+    def test_zero_baseline_abstains(self):
+        history = history_of("lat_seconds", [0.0, 0.0, 0.0, 5.0])
+        assert check_regression(history, "lat_seconds") is None
+
+
+class TestGuardedRecord:
+    def seed(self, path, values):
+        for v in values:
+            record("lat_seconds", v, path=path)
+
+    def test_regression_appends_warning_row(self, tmp_path):
+        history = tmp_path / "bench.json"
+        self.seed(history, [1.0, 1.02, 0.98, 1.01])
+        with pytest.warns(UserWarning, match="benchmark regression"):
+            record("lat_seconds", 1.5, path=history, guard_tolerance=0.15)
+        rows = json.loads(history.read_text())
+        warning = rows[-1]
+        assert warning["kind"] == "regression_warning"
+        assert warning["metric"] == "lat_seconds"
+        assert warning["value"] == 1.5
+        assert warning["direction"] == "lower"
+        assert "trailing median" in warning["detail"]
+        # The measurement row itself still precedes the warning.
+        assert rows[-2]["value"] == 1.5 and "kind" not in rows[-2]
+
+    def test_healthy_value_appends_no_warning(self, tmp_path):
+        history = tmp_path / "bench.json"
+        self.seed(history, [1.0, 1.02, 0.98, 1.01])
+        record("lat_seconds", 1.03, path=history, guard_tolerance=0.15)
+        rows = json.loads(history.read_text())
+        assert all(row.get("kind") != "regression_warning" for row in rows)
+
+    def test_guard_abstains_on_short_history(self, tmp_path):
+        history = tmp_path / "bench.json"
+        record("lat_seconds", 1.0, path=history)
+        record("lat_seconds", 99.0, path=history, guard_tolerance=0.15)
+        rows = json.loads(history.read_text())
+        assert all(row.get("kind") != "regression_warning" for row in rows)
+
+    def test_warning_rows_do_not_poison_future_baselines(self, tmp_path):
+        history = tmp_path / "bench.json"
+        self.seed(history, [1.0, 1.02, 0.98, 1.01])
+        with pytest.warns(UserWarning):
+            record("lat_seconds", 1.5, path=history, guard_tolerance=0.15)
+        # Next healthy-ish value is judged against measurement rows only;
+        # the 1.5 regression now sits in the median window, but the warning
+        # row itself must not count twice.
+        rows = json.loads(history.read_text())
+        measurement_values = [
+            r["value"] for r in rows if r.get("kind") != "regression_warning"
+        ]
+        assert measurement_values == [1.0, 1.02, 0.98, 1.01, 1.5]

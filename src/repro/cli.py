@@ -13,6 +13,10 @@ Usage::
     python -m repro stream-simulate --events 2000 --smoke
     python -m repro fold-in --snapshot model.npz --user 9999 --item 3 --item 17 --item 42
     python -m repro retrain-loop --directory /tmp/lifecycle --smoke
+    python -m repro ops-demo --directory /tmp/ops --brownout --smoke
+    python -m repro doctor --directory /tmp/ops --bench .
+    python -m repro alerts --directory /tmp/ops
+    python -m repro dashboard --directory /tmp/ops
 """
 
 from __future__ import annotations
@@ -257,6 +261,109 @@ def build_parser() -> argparse.ArgumentParser:
     )
     canary_status_parser.add_argument(
         "--directory", "-d", required=True, help="orchestrator run directory"
+    )
+
+    ops_demo = subparsers.add_parser(
+        "ops-demo",
+        help="run a short instrumented serve loop under the health engine "
+        "(optionally with a fault-injected latency brownout) and save the "
+        "TSDB/alert/SLO artefacts for doctor and dashboard",
+    )
+    ops_demo.add_argument(
+        "--directory", "-d", required=True, help="output directory for health artefacts"
+    )
+    ops_demo.add_argument(
+        "--brownout",
+        action="store_true",
+        help="arm a deterministic retrieval delay (REPRO_FAULTS) to breach the latency SLO",
+    )
+    ops_demo.add_argument(
+        "--smoke",
+        action="store_true",
+        help="assert the expected health outcome (brownout => latency alert fires)",
+    )
+    ops_demo.add_argument("--ticks", type=int, default=30, help="health-engine ticks to run")
+    ops_demo.add_argument(
+        "--interval", type=float, default=0.2, help="seconds between ticks (real time)"
+    )
+    ops_demo.add_argument(
+        "--queries-per-tick", type=int, default=16, help="user queries served per tick"
+    )
+    ops_demo.add_argument(
+        "--objective",
+        type=float,
+        default=0.005,
+        help="latency SLO objective in seconds (p99 must stay under this)",
+    )
+    ops_demo.add_argument(
+        "--delay",
+        type=float,
+        default=0.02,
+        help="injected retrieval delay in seconds during a brownout",
+    )
+    ops_demo.add_argument(
+        "--dataset-scale", type=float, default=1.0, help="synthetic corpus size multiplier"
+    )
+
+    doctor = subparsers.add_parser(
+        "doctor",
+        help="one-shot health verdict over saved health artefacts "
+        "(exit 0 healthy / 1 degraded / 2 firing) — CI-friendly",
+    )
+    doctor.add_argument(
+        "--directory", "-d", default=None, help="health directory written by ops-demo/HealthEngine.save"
+    )
+    doctor.add_argument(
+        "--bench",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="also scan BENCH_*.json histories in DIR (default: cwd) for regressions",
+    )
+    doctor.add_argument(
+        "--bench-tolerance",
+        type=float,
+        default=0.15,
+        help="relative drift vs trailing median that counts as a regression",
+    )
+
+    alerts_parser = subparsers.add_parser(
+        "alerts",
+        help="show alert states and recent transitions from a health directory's alerts.jsonl",
+    )
+    alerts_parser.add_argument(
+        "--directory", "-d", required=True, help="health directory containing alerts.jsonl"
+    )
+    alerts_parser.add_argument(
+        "--state",
+        choices=("firing", "pending", "resolved", "inactive"),
+        default=None,
+        help="only show alerts currently in this state",
+    )
+    alerts_parser.add_argument(
+        "--tail", type=int, default=10, help="recent transitions to print (0 disables)"
+    )
+
+    dashboard = subparsers.add_parser(
+        "dashboard",
+        help="terminal health dashboard: sparklines, SLO budget bars, firing alerts "
+        "(offline from a health directory, or --demo for a live loop)",
+    )
+    dashboard.add_argument(
+        "--directory", "-d", default=None, help="render a saved health directory"
+    )
+    dashboard.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a live instrumented serve loop and refresh the dashboard in place",
+    )
+    dashboard.add_argument("--frames", type=int, default=None, help="stop after N frames (demo)")
+    dashboard.add_argument(
+        "--refresh", type=float, default=1.0, help="seconds between frames (demo)"
+    )
+    dashboard.add_argument(
+        "--dataset-scale", type=float, default=1.0, help="synthetic corpus size multiplier (demo)"
     )
 
     fold_in = subparsers.add_parser(
@@ -632,6 +739,213 @@ def _command_fold_in(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ops_corpus(dataset_scale: float):
+    """(snapshot, service) serving corpus from synthetic ground-truth factors.
+
+    Built *after* the caller enables metrics so the service binds live
+    instrument handles; uses the latent factors the benchmark generator drew
+    (no training needed — retrieval only cares about embedding geometry).
+    """
+    from .serve import ExactIndex, RecommendationService, build_snapshot
+
+    dataset = load_benchmark("amazon-book", scale=dataset_scale)
+    snapshot = build_snapshot(
+        dataset.metadata["user_factors"],
+        dataset.metadata["item_factors"],
+        train_pairs=dataset.train,
+        model_name="ground-truth-factors",
+        dataset_name=dataset.name,
+    )
+    service = RecommendationService(
+        snapshot, index=ExactIndex(snapshot.item_embeddings), default_k=10
+    )
+    return snapshot, service
+
+
+def _ops_slos(interval: float, objective: float):
+    """Demo SLOs with windows scaled to the tick interval so a short run can
+    breach, fire, and (after the fault clears) resolve in seconds.  One
+    latency observation lands per tick, so ``min_samples`` must fit inside
+    ``fast_window / tick period``."""
+    from .obs import default_serving_slos
+
+    return default_serving_slos(
+        latency_objective=objective,
+        fast_window=interval * 10,
+        slow_window=interval * 30,
+        min_samples=5,
+    )
+
+
+def _command_ops_demo(args: argparse.Namespace) -> int:
+    import contextlib
+    import os
+    import time as _time
+
+    from .obs import HealthEngine, configure_logging, enable, enable_tracing, get_logger
+    from .reliability.faults import FaultInjector, inject_faults
+
+    registry = enable()
+    enable_tracing()
+    configure_logging(level="INFO")
+    log = get_logger("repro.ops")
+    snapshot, service = _ops_corpus(args.dataset_scale)
+    engine = HealthEngine(
+        registry=registry,
+        slos=_ops_slos(args.interval, args.objective),
+        interval=args.interval,
+        log_dir=args.directory,
+    )
+    stack = contextlib.ExitStack()
+    if args.brownout:
+        os.environ.setdefault("REPRO_FAULTS", "1")
+        injector = FaultInjector().arm(
+            "serve.retrieval",
+            times=None,
+            probability=1.0,
+            mode="delay",
+            delay=args.delay,
+        )
+        stack.enter_context(inject_faults(injector))
+        log.info("brownout armed", extra={"site": "serve.retrieval", "delay": args.delay})
+    per_tick = min(snapshot.num_users, args.queries_per_tick)
+    with stack:
+        for tick in range(args.ticks):
+            # Rotate the user batch so the LRU result cache doesn't absorb
+            # the whole run after tick 1 — every tick must hit retrieval.
+            users = [
+                (tick * per_tick + i) % snapshot.num_users for i in range(per_tick)
+            ]
+            service.recommend_many(users, k=10)
+            statuses = engine.tick()
+            if tick + 1 < args.ticks:
+                _time.sleep(args.interval)
+    engine.save()
+    firing = engine.alerts.firing()
+    for status in statuses:
+        print(
+            f"slo {status.slo.name}: fast_burn={status.fast_burn:.2f} "
+            f"slow_burn={status.slow_burn:.2f} "
+            f"budget_remaining={status.budget_remaining:.1%} "
+            f"{'BREACHING' if status.breaching else 'degraded' if status.degraded else 'ok'}"
+        )
+    print(
+        f"ops-demo: {args.ticks} ticks, {engine.tsdb.samples_taken} samples, "
+        f"{len(engine.tsdb)} series, {len(firing)} firing alert(s) -> {args.directory}"
+    )
+    if args.smoke:
+        latency_firing = any(a.category == "latency" for a in firing)
+        if args.brownout and not latency_firing:
+            print("ops-demo smoke FAILED: brownout did not fire a latency alert")
+            return 1
+        if not args.brownout and firing:
+            print("ops-demo smoke FAILED: healthy run has firing alerts")
+            return 1
+        print("ops-demo smoke ok")
+    return 0
+
+
+def _command_doctor(args: argparse.Namespace) -> int:
+    from .obs.health import DoctorReport, bench_regressions, doctor_from_dir
+
+    if args.directory is None and args.bench is None:
+        print("doctor: nothing to examine (pass --directory and/or --bench)")
+        return 2
+    if args.directory is not None:
+        report = doctor_from_dir(
+            args.directory, bench_dir=args.bench, bench_tolerance=args.bench_tolerance
+        )
+    else:
+        warnings = bench_regressions(args.bench, tolerance=args.bench_tolerance)
+        code = 1 if warnings else 0
+        report = DoctorReport(
+            code=code,
+            verdict="degraded" if warnings else "healthy",
+            bench_warnings=warnings,
+        )
+    print(report.render())
+    return report.code
+
+
+def _command_alerts(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import AlertManager
+
+    log_path = Path(args.directory) / "alerts.jsonl"
+    if not log_path.exists():
+        print(f"no alert log at {log_path}")
+        return 1
+    manager = AlertManager(log_path=log_path)
+    alerts = manager.alerts(state=args.state)
+    rows = [
+        {
+            "alert": alert.name,
+            "state": alert.state,
+            "episode": alert.episode,
+            "category": alert.category,
+            "severity": alert.severity,
+            "description": alert.description or "-",
+        }
+        for alert in sorted(alerts, key=lambda a: a.name)
+    ]
+    if rows:
+        print_table(
+            rows,
+            columns=["alert", "state", "episode", "category", "severity", "description"],
+            title=f"alerts ({args.state or 'all'})",
+        )
+    else:
+        print(f"no alerts in state {args.state!r}" if args.state else "no alerts recorded")
+    if args.tail:
+        lines = [l for l in log_path.read_text().splitlines() if l.strip()]
+        print(f"\nlast {min(args.tail, len(lines))} transition(s):")
+        for line in lines[-args.tail :]:
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            print(
+                f"  ts={row.get('ts', 0):.3f} {row.get('event', '?'):<8} "
+                f"{row.get('name', '?')} episode={row.get('episode', '?')}"
+            )
+    return 0
+
+
+def _command_dashboard(args: argparse.Namespace) -> int:
+    if args.directory is None and not args.demo:
+        print("dashboard: pass --directory for a saved run or --demo for a live loop")
+        return 2
+    if args.directory is not None:
+        from .obs.dashboard import render_offline
+
+        print(render_offline(args.directory))
+        return 0
+    from .obs import HealthEngine, enable, run_dashboard
+
+    registry = enable()
+    _, service = _ops_corpus(args.dataset_scale)
+    engine = HealthEngine(
+        registry=registry,
+        slos=_ops_slos(args.refresh, 0.05),
+        interval=args.refresh,
+    )
+    users = list(range(min(service.snapshot.num_users, 16)))
+
+    original_tick = engine.tick
+
+    def serving_tick(now=None):
+        # The demo generates its own traffic: serve a batch, then sample.
+        service.recommend_many(users, k=10)
+        return original_tick(now)
+
+    engine.tick = serving_tick
+    frames = run_dashboard(engine, refresh=args.refresh, iterations=args.frames)
+    print(f"dashboard: {frames} frame(s) rendered")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro``; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -657,4 +971,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_canary_status(args)
     if args.command == "fold-in":
         return _command_fold_in(args)
+    if args.command == "ops-demo":
+        return _command_ops_demo(args)
+    if args.command == "doctor":
+        return _command_doctor(args)
+    if args.command == "alerts":
+        return _command_alerts(args)
+    if args.command == "dashboard":
+        return _command_dashboard(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

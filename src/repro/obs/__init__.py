@@ -24,6 +24,15 @@ metrics *before* building the objects you want instrumented.  The CLI
 counterparts are ``repro metrics-dump`` and ``repro trace``.
 """
 
+from .alerts import (
+    ActionBus,
+    Alert,
+    AlertManager,
+    AlertRule,
+    breaker_subscriber,
+    retrain_subscriber,
+)
+from .dashboard import budget_bar, render_dashboard, run_dashboard, sparkline
 from .export import (
     METRICS_DUMP_SCHEMA,
     PeriodicExporter,
@@ -31,6 +40,8 @@ from .export import (
     render_prometheus,
     write_metrics_jsonl,
 )
+from .health import DoctorReport, HealthEngine, bench_regressions, doctor_verdict
+from .logging import JsonFormatter, configure_logging, get_logger
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -42,13 +53,18 @@ from .metrics import (
     enable,
     enabled,
     exponential_buckets,
+    fraction_over,
     get_registry,
+    quantile_from_buckets,
     use_registry,
 )
 from .profile import OpProfiler, ProfileReport, ProfileRow
+from .slo import SLO, SLOEngine, SLOStatus, default_serving_slos
+from .timeseries import MetricsSampler, TimeSeriesConfig, TimeSeriesDB
 from .tracing import (
     Span,
     Tracer,
+    current_span,
     disable_tracing,
     enable_tracing,
     flamegraph_from_spans,
@@ -94,4 +110,38 @@ __all__ = [
     "OpProfiler",
     "ProfileReport",
     "ProfileRow",
+    # quantile helpers + span context
+    "quantile_from_buckets",
+    "fraction_over",
+    "current_span",
+    # time-series history
+    "TimeSeriesDB",
+    "TimeSeriesConfig",
+    "MetricsSampler",
+    # SLOs
+    "SLO",
+    "SLOStatus",
+    "SLOEngine",
+    "default_serving_slos",
+    # alerting + action bus
+    "Alert",
+    "AlertRule",
+    "AlertManager",
+    "ActionBus",
+    "retrain_subscriber",
+    "breaker_subscriber",
+    # structured logging
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+    # health engine + doctor
+    "HealthEngine",
+    "DoctorReport",
+    "doctor_verdict",
+    "bench_regressions",
+    # dashboard
+    "sparkline",
+    "budget_bar",
+    "render_dashboard",
+    "run_dashboard",
 ]

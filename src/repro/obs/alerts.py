@@ -1,0 +1,403 @@
+"""Stateful alerting over SLO statuses and rule predicates, plus an
+alert→action bus that lets the system react to its own telemetry.
+
+The pipeline is evaluate → damp → route:
+
+* **evaluate** — each tick the :class:`AlertManager` ingests the SLO engine's
+  statuses and its own :class:`AlertRule` predicates into boolean "condition
+  active?" signals, one per alert name;
+* **damp** — a per-alert state machine (inactive → pending → firing →
+  resolved) turns those booleans into *episodes*.  A condition must hold for
+  ``for_duration`` before the alert fires (so one bad sample never pages) and
+  must stay clear for ``resolve_duration`` before it resolves (so an
+  oscillating signal produces one long episode instead of a page storm —
+  flap damping);
+* **route** — on the firing and resolved *transitions* (exactly once per
+  episode, keyed by a monotonically increasing episode id) the alert is
+  appended to a JSONL log and published on the :class:`ActionBus`, where
+  subscribers are registered per category: the stock ones wire a ``quality``
+  alert to :class:`~repro.orchestrate.retrain.RetrainOrchestrator.submit`
+  (a burn-rate breach triggers a retrain exactly like a drift
+  ``RefreshSignal``) and a ``latency`` alert to
+  :meth:`~repro.reliability.breaker.CircuitBreaker.trip` (pre-open to shed
+  load before the failure rate forces it).
+
+Restart safety: the JSONL log doubles as the dedupe journal.
+:meth:`AlertManager.replay_log` reloads episode ids and still-firing alerts,
+so a process restart neither re-fires an already-delivered episode nor
+forgets that one is in flight.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .slo import SLOEngine, SLOStatus
+
+__all__ = [
+    "ALERT_SCHEMA",
+    "ActionBus",
+    "Alert",
+    "AlertManager",
+    "AlertRule",
+    "breaker_subscriber",
+    "retrain_subscriber",
+]
+
+#: Schema version stamped into alert-log rows.
+ALERT_SCHEMA = 1
+
+# Alert lifecycle states.
+INACTIVE = "inactive"
+PENDING = "pending"
+FIRING = "firing"
+RESOLVED = "resolved"
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """A rule-based alert: a predicate over the TSDB, with damping knobs.
+
+    ``predicate(tsdb, now) -> bool`` returns True while the bad condition
+    holds.  Rules cover conditions that aren't SLOs — "WAL replays observed",
+    "breaker open", "no samples arriving".
+    """
+
+    name: str
+    predicate: object  # Callable[[TimeSeriesDB, float], bool]
+    category: str = "health"
+    severity: str = "warn"
+    for_duration: float = 0.0
+    resolve_duration: float = 0.0
+    description: str = ""
+
+
+@dataclass
+class Alert:
+    """Mutable lifecycle record for one alert name."""
+
+    name: str
+    category: str
+    severity: str
+    state: str = INACTIVE
+    episode: int = 0  # increments on each firing transition
+    pending_since: float | None = None
+    firing_since: float | None = None
+    clear_since: float | None = None
+    last_change: float = 0.0
+    description: str = ""
+    context: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "severity": self.severity,
+            "state": self.state,
+            "episode": self.episode,
+            "firing_since": self.firing_since,
+            "last_change": self.last_change,
+            "description": self.description,
+            "context": self.context,
+        }
+
+
+class ActionBus:
+    """Category-routed fan-out of alert transitions to subscribers.
+
+    ``subscribe(handler, categories=None)`` registers a callable
+    ``handler(event, alert)`` where ``event`` is ``"firing"`` or
+    ``"resolved"``; ``categories=None`` receives everything.  Handlers are
+    exception-isolated: one failing subscriber never blocks delivery to the
+    rest (failures are counted, not raised — the bus is part of the alerting
+    path and must not take the service down).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[tuple[object, frozenset | None]] = []
+        self._lock = threading.Lock()
+        self.delivered = 0
+        self.errors = 0
+
+    def subscribe(self, handler, categories=None) -> None:
+        wanted = None if categories is None else frozenset(categories)
+        with self._lock:
+            self._subscribers.append((handler, wanted))
+
+    def publish(self, event: str, alert: Alert) -> int:
+        """Deliver one transition; returns how many handlers received it."""
+        with self._lock:
+            targets = [
+                handler
+                for handler, wanted in self._subscribers
+                if wanted is None or alert.category in wanted
+            ]
+        received = 0
+        for handler in targets:
+            try:
+                handler(event, alert)
+                received += 1
+            except Exception:
+                self.errors += 1
+        self.delivered += received
+        return received
+
+
+class AlertManager:
+    """Turns SLO statuses and rule predicates into damped, routed alerts."""
+
+    def __init__(
+        self,
+        engine: SLOEngine | None = None,
+        rules: list[AlertRule] | None = None,
+        bus: ActionBus | None = None,
+        log_path=None,
+        clock=time.time,
+        default_for_duration: float = 0.0,
+        default_resolve_duration: float = 30.0,
+    ) -> None:
+        self.engine = engine
+        self.rules = list(rules or ())
+        self.bus = bus if bus is not None else ActionBus()
+        self.log_path = Path(log_path) if log_path is not None else None
+        self._clock = clock
+        self.default_for_duration = default_for_duration
+        self.default_resolve_duration = default_resolve_duration
+        self._alerts: dict[str, Alert] = {}
+        self._lock = threading.Lock()
+        self.transitions = 0
+        if self.log_path is not None and self.log_path.exists():
+            self.replay_log()
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, now: float | None = None) -> list[SLOStatus]:
+        """One alerting tick: evaluate SLOs + rules, advance every state
+        machine, publish transitions.  Returns the SLO statuses (for reuse by
+        dashboards without double evaluation)."""
+        ts = self._clock() if now is None else float(now)
+        statuses = self.engine.evaluate(now=ts) if self.engine is not None else []
+        for status in statuses:
+            self._observe(
+                name=f"slo:{status.slo.name}",
+                active=status.breaching,
+                now=ts,
+                category=status.slo.category,
+                severity=status.slo.severity,
+                for_duration=self.default_for_duration,
+                resolve_duration=self.default_resolve_duration,
+                description=status.slo.target(),
+                context={
+                    "fast_burn": round(status.fast_burn, 4),
+                    "slow_burn": round(status.slow_burn, 4),
+                    "budget_remaining": round(status.budget_remaining, 4),
+                },
+            )
+        tsdb = self.engine.tsdb if self.engine is not None else None
+        for rule in self.rules:
+            try:
+                active = bool(rule.predicate(tsdb, ts))
+            except Exception:
+                active = False
+            self._observe(
+                name=f"rule:{rule.name}",
+                active=active,
+                now=ts,
+                category=rule.category,
+                severity=rule.severity,
+                for_duration=rule.for_duration,
+                resolve_duration=rule.resolve_duration,
+                description=rule.description,
+                context={},
+            )
+        return statuses
+
+    def _observe(
+        self,
+        name: str,
+        active: bool,
+        now: float,
+        category: str,
+        severity: str,
+        for_duration: float,
+        resolve_duration: float,
+        description: str,
+        context: dict,
+    ) -> None:
+        transitions: list[tuple[str, Alert]] = []
+        with self._lock:
+            alert = self._alerts.get(name)
+            if alert is None:
+                alert = Alert(
+                    name=name,
+                    category=category,
+                    severity=severity,
+                    description=description,
+                )
+                self._alerts[name] = alert
+            alert.description = description or alert.description
+            if context:
+                alert.context.update(context)
+            if active:
+                alert.clear_since = None
+                if alert.state in (INACTIVE, RESOLVED):
+                    alert.pending_since = now
+                    alert.state = PENDING
+                    alert.last_change = now
+                if alert.state == PENDING and now - alert.pending_since >= for_duration:
+                    alert.state = FIRING
+                    alert.episode += 1
+                    alert.firing_since = now
+                    alert.last_change = now
+                    transitions.append(("firing", alert))
+            else:
+                if alert.state == PENDING:
+                    # Condition cleared before for_duration elapsed: no page.
+                    alert.state = INACTIVE
+                    alert.pending_since = None
+                    alert.last_change = now
+                elif alert.state == FIRING:
+                    if alert.clear_since is None:
+                        alert.clear_since = now
+                    if now - alert.clear_since >= resolve_duration:
+                        alert.state = RESOLVED
+                        alert.last_change = now
+                        alert.clear_since = None
+                        transitions.append(("resolved", alert))
+        for event, fired in transitions:
+            self._emit(event, fired, now)
+
+    def _emit(self, event: str, alert: Alert, now: float) -> None:
+        self.transitions += 1
+        if self.log_path is not None:
+            row = {
+                "schema": ALERT_SCHEMA,
+                "ts": now,
+                "event": event,
+                **alert.as_dict(),
+            }
+            with open(self.log_path, "a") as handle:
+                handle.write(json.dumps(row) + "\n")
+        self.bus.publish(event, alert)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def alerts(self, state: str | None = None) -> list[Alert]:
+        with self._lock:
+            rows = list(self._alerts.values())
+        if state is not None:
+            rows = [a for a in rows if a.state == state]
+        return rows
+
+    def firing(self) -> list[Alert]:
+        return self.alerts(FIRING)
+
+    # ------------------------------------------------------------------ #
+    # Restart dedupe
+    # ------------------------------------------------------------------ #
+    def replay_log(self, path=None) -> int:
+        """Rebuild alert/episode state from a transition log.
+
+        Replaying means a restarted manager continues episode numbering where
+        the previous process stopped and treats alerts that were firing at
+        shutdown as still firing — their eventual resolution publishes a
+        ``resolved`` transition, but the firing transition is never
+        re-delivered (dedupe across restart/TSDB reload).
+        """
+        source = Path(path) if path is not None else self.log_path
+        if source is None or not source.exists():
+            return 0
+        rows = 0
+        with self._lock:
+            for line in source.read_text().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write: ignore the partial row
+                name = row.get("name")
+                if not name:
+                    continue
+                alert = self._alerts.get(name)
+                if alert is None:
+                    alert = Alert(
+                        name=name,
+                        category=row.get("category", "health"),
+                        severity=row.get("severity", "warn"),
+                    )
+                    self._alerts[name] = alert
+                alert.episode = max(alert.episode, int(row.get("episode", 0)))
+                alert.description = row.get("description", alert.description)
+                alert.last_change = float(row.get("ts", 0.0))
+                if row.get("event") == "firing":
+                    alert.state = FIRING
+                    alert.firing_since = float(row.get("ts", 0.0))
+                    alert.clear_since = None
+                elif row.get("event") == "resolved":
+                    alert.state = RESOLVED
+                rows += 1
+        return rows
+
+
+# --------------------------------------------------------------------------- #
+# Stock subscribers
+# --------------------------------------------------------------------------- #
+def retrain_subscriber(orchestrator):
+    """Bus handler submitting a retrain ``RefreshSignal`` on quality alerts.
+
+    Delivery is exactly-once per episode by construction (the bus only
+    publishes transitions), but the handler also keeps its own seen-episode
+    set so a replayed or duplicated transition can never queue a second
+    retrain for the same episode.  Subscribe with ``categories=("quality",)``.
+    """
+    seen: set[tuple[str, int]] = set()
+
+    def handler(event: str, alert: Alert) -> None:
+        if event != "firing":
+            return
+        key = (alert.name, alert.episode)
+        if key in seen:
+            return
+        seen.add(key)
+        # Imported lazily: obs must stay importable without the stream layer
+        # (and stream imports obs for its own instrumentation).
+        from ..stream.drift import DriftMetrics, RefreshSignal
+
+        orchestrator.submit(
+            RefreshSignal(
+                reasons=(f"alert:{alert.name}#e{alert.episode}",),
+                metrics=DriftMetrics(
+                    events_observed=0,
+                    popularity_kl=0.0,
+                    mean_residual=0.0,
+                    cold_user_ratio=0.0,
+                ),
+                as_of_seq=0,
+            )
+        )
+
+    return handler
+
+
+def breaker_subscriber(breaker):
+    """Bus handler pre-opening a circuit breaker on latency alerts.
+
+    Firing trips the breaker (sheds load to the popularity fallback before
+    the failure rate forces it); resolution resets it so normal half-open
+    recovery isn't needed.  Subscribe with ``categories=("latency",)``.
+    """
+
+    def handler(event: str, alert: Alert) -> None:
+        if event == "firing":
+            breaker.trip()
+        elif event == "resolved":
+            breaker.reset()
+
+    return handler

@@ -1,0 +1,250 @@
+"""Live terminal dashboard: sparklines, SLO budget bars, firing alerts.
+
+Plain ANSI, zero dependencies — the rendering functions are pure
+(``state -> str``) so tests assert on the string and the live loop in
+:func:`run_dashboard` is just clear-screen + reprint at the sampling cadence.
+
+Layout::
+
+    repro health — 14:02:31   [2 SLOs, 1 firing]
+    serve.request.latency_seconds p99   ▂▂▃▂▂▇█▇▆▂  12.4ms
+    serve.queries.total rate            ▁▂▄▅▅▅▆▆▇█  812.0/s
+    SLO serve-latency-p99      [████████████░░░░░░░]  63.0% budget  burn 1.2/0.4  ok
+    SLO serve-fallback-rate    [███████████████████]  99.8% budget  burn 0.0/0.0  ok
+    ALERT slo:serve-latency-p99 FIRING [latency/page] episode=2
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from .alerts import AlertManager
+from .health import HealthEngine
+from .timeseries import TimeSeriesDB
+
+__all__ = [
+    "budget_bar",
+    "render_dashboard",
+    "render_offline",
+    "run_dashboard",
+    "sparkline",
+]
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+_CLEAR = "\x1b[2J\x1b[H"
+_RED = "\x1b[31m"
+_YELLOW = "\x1b[33m"
+_GREEN = "\x1b[32m"
+_RESET = "\x1b[0m"
+
+
+def sparkline(values, width: int = 40) -> str:
+    """Render a numeric series as unicode block characters.
+
+    The series is resampled to ``width`` points (last value wins within a
+    step) and scaled min→max; a flat series renders at the lowest level.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[min(len(values) - 1, int((i + 1) * step) - 1)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARKS[0] * len(values)
+    scale = (len(_SPARKS) - 1) / (hi - lo)
+    return "".join(_SPARKS[int((v - lo) * scale + 0.5)] for v in values)
+
+
+def budget_bar(fraction: float, width: int = 20) -> str:
+    """``[████░░░]`` bar for remaining error budget (clamped to [0, 1])."""
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "[" + "█" * filled + "░" * (width - filled) + "]"
+
+
+def _fmt_value(name: str, value: float) -> str:
+    if "seconds" in name or "latency" in name:
+        return f"{value * 1000:.1f}ms"
+    return f"{value:.1f}"
+
+
+def render_dashboard(
+    engine: HealthEngine,
+    window: float = 120.0,
+    width: int = 40,
+    color: bool = False,
+    now: float | None = None,
+) -> str:
+    """One full frame of the dashboard as a string (pure; no I/O)."""
+    red, yellow, green, reset = (
+        (_RED, _YELLOW, _GREEN, _RESET) if color else ("", "", "", "")
+    )
+    ts = now if now is not None else (engine.tsdb.last_timestamp() or 0.0)
+    firing = engine.alerts.firing()
+    statuses = engine.last_statuses
+    clock = time.strftime("%H:%M:%S", time.localtime(ts))
+    lines = [
+        f"repro health — {clock}   "
+        f"[{len(statuses)} SLOs, {len(firing)} firing, "
+        f"{len(engine.tsdb)} series, {engine.tsdb.samples_taken} samples]"
+    ]
+
+    # -- time-series panel: one sparkline per SLO-referenced metric ----------
+    seen: set[str] = set()
+    for slo in engine.slo_engine.slos:
+        if slo.kind == "latency" and slo.metric not in seen:
+            seen.add(slo.metric)
+            series = [
+                engine.tsdb.quantile(
+                    slo.metric, slo.quantile, window / 4, labels=slo.labels, now=t
+                )
+                for t in _frame_times(engine, slo.metric, slo.labels, window, ts)
+            ]
+            if series:
+                label = f"{slo.metric} p{slo.quantile * 100:g}"
+                lines.append(
+                    f"{label:<38} {sparkline(series, width):<{width}} "
+                    f"{_fmt_value(slo.metric, series[-1])}"
+                )
+        elif slo.kind == "ratio" and slo.total_metric not in seen:
+            seen.add(slo.total_metric)
+            series = [
+                engine.tsdb.rate(slo.total_metric, window / 4, labels=slo.total_labels, now=t)
+                for t in _frame_times(engine, slo.total_metric, slo.total_labels, window, ts)
+            ]
+            if series:
+                label = f"{slo.total_metric} rate"
+                lines.append(
+                    f"{label:<38} {sparkline(series, width):<{width}} "
+                    f"{series[-1]:.1f}/s"
+                )
+
+    # -- SLO panel -----------------------------------------------------------
+    for status in statuses:
+        if status.breaching:
+            flag = f"{red}BREACHING{reset}"
+        elif status.degraded:
+            flag = f"{yellow}degraded{reset}"
+        else:
+            flag = f"{green}ok{reset}"
+        lines.append(
+            f"SLO {status.slo.name:<24} {budget_bar(status.budget_remaining)} "
+            f"{status.budget_remaining:6.1%} budget  "
+            f"burn {status.fast_burn:.1f}/{status.slow_burn:.1f}  {flag}"
+        )
+
+    # -- alert panel ---------------------------------------------------------
+    for alert in firing:
+        lines.append(
+            f"{red}ALERT {alert.name} FIRING{reset} "
+            f"[{alert.category}/{alert.severity}] episode={alert.episode}"
+        )
+    if not firing and statuses:
+        lines.append("no firing alerts")
+    return "\n".join(lines)
+
+
+def _frame_times(engine, name, labels, window, end):
+    """Timestamps to evaluate sparkline points at: the series' own sample
+    times inside the window (capped), so frames need no interpolation."""
+    points = engine.tsdb.points(name, window, labels=labels, now=end)
+    return [ts for ts, _ in points][-80:]
+
+
+def render_offline(directory, width: int = 40, max_series: int = 12) -> str:
+    """Dashboard frame for a *saved* health directory (``repro dashboard -d``).
+
+    Reads the artefacts a :meth:`~repro.obs.health.HealthEngine.save` run left
+    behind — ``tsdb.jsonl`` (sparklines), ``slos.json`` (budget bars) and
+    ``alerts.jsonl`` (firing panel) — so a CI artefact or a crashed run can be
+    inspected after the fact with the same layout as the live view.
+    """
+    root = Path(directory)
+    lines: list[str] = []
+    tsdb_path = root / "tsdb.jsonl"
+    tsdb = TimeSeriesDB.load(tsdb_path) if tsdb_path.exists() else None
+    last = tsdb.last_timestamp() if tsdb is not None else None
+    clock = time.strftime("%H:%M:%S", time.localtime(last)) if last else "--:--:--"
+    series = tsdb.series() if tsdb is not None else []
+    lines.append(
+        f"repro health (offline: {root}) — last sample {clock}   "
+        f"[{len(series)} series]"
+    )
+    window = float("inf")
+    for info in series[:max_series]:
+        points = tsdb.points(info["name"], window, labels=info["labels"], now=last)
+        if not points:
+            continue
+        values = [v for _, v in points]
+        suffix = "(count)" if info["kind"] == "histogram" else ""
+        label = f"{info['name']} {suffix}".strip()
+        lines.append(
+            f"{label:<38} {sparkline(values, width):<{width}} "
+            f"{_fmt_value(info['name'], values[-1]) if info['kind'] != 'histogram' else f'{values[-1]:.0f}'}"
+        )
+    if len(series) > max_series:
+        lines.append(f"... {len(series) - max_series} more series not shown")
+    slos_path = root / "slos.json"
+    if slos_path.exists():
+        try:
+            payload = json.loads(slos_path.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+        for row in payload.get("statuses", []):
+            flag = (
+                "BREACHING"
+                if row.get("breaching")
+                else "degraded" if row.get("degraded") else "ok"
+            )
+            remaining = float(row.get("budget_remaining", 1.0))
+            lines.append(
+                f"SLO {row.get('slo', '?'):<24} {budget_bar(remaining)} "
+                f"{remaining:6.1%} budget  "
+                f"burn {float(row.get('fast_burn', 0.0)):.1f}/"
+                f"{float(row.get('slow_burn', 0.0)):.1f}  {flag}"
+            )
+    alerts_path = root / "alerts.jsonl"
+    if alerts_path.exists():
+        manager = AlertManager(log_path=alerts_path)
+        firing = manager.firing()
+        for alert in firing:
+            lines.append(
+                f"ALERT {alert.name} FIRING "
+                f"[{alert.category}/{alert.severity}] episode={alert.episode}"
+            )
+        if not firing:
+            lines.append("no firing alerts")
+    return "\n".join(lines)
+
+
+def run_dashboard(
+    engine: HealthEngine,
+    refresh: float = 1.0,
+    iterations: int | None = None,
+    stream=None,
+    color: bool = True,
+) -> int:
+    """Clear-and-reprint loop; returns frames drawn.
+
+    ``iterations=None`` runs until interrupted (the CLI path); tests pass a
+    small count and a StringIO stream.
+    """
+    out = stream if stream is not None else sys.stdout
+    frames = 0
+    try:
+        while iterations is None or frames < iterations:
+            engine.tick()
+            out.write(_CLEAR + render_dashboard(engine, color=color) + "\n")
+            out.flush()
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            time.sleep(refresh)
+    except KeyboardInterrupt:
+        pass
+    return frames

@@ -18,6 +18,7 @@ long-running processes (stream simulators, the retrain loop).
 
 from __future__ import annotations
 
+import atexit
 import json
 import re
 import threading
@@ -151,8 +152,11 @@ class PeriodicExporter:
 
     Each tick rewrites ``path`` atomically-enough (full rewrite of a small
     file) in the chosen format (``"jsonl"`` or ``"prometheus"``).  ``stop()``
-    performs one final dump so short-lived processes never lose their last
-    window; it is also usable as a context manager::
+    is idempotent and performs one final dump so short-lived processes never
+    lose their last window; :meth:`start` additionally registers that flush
+    with :mod:`atexit`, so a CLI command that exits without ever calling
+    ``stop()`` still leaves a complete dump behind.  Also usable as a context
+    manager::
 
         with PeriodicExporter("metrics.jsonl", interval=10.0):
             serve_forever()
@@ -197,14 +201,19 @@ class PeriodicExporter:
             target=self._run, name="repro-metrics-exporter", daemon=True
         )
         self._thread.start()
+        atexit.register(self.stop)
         return self
 
     def stop(self) -> None:
-        """Stop the thread and write one final dump."""
+        """Stop the thread and write one final dump (idempotent: calling
+        again — or letting the atexit hook fire after a manual stop — is a
+        no-op rather than a duplicate dump)."""
+        if self._thread is None:
+            return
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        atexit.unregister(self.stop)
         self._dump_once()
 
     def __enter__(self) -> "PeriodicExporter":

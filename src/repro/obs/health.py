@@ -1,0 +1,384 @@
+"""The health engine: one object that samples, evaluates, alerts, and acts.
+
+:class:`HealthEngine` composes the tentpole pieces —
+:class:`~repro.obs.timeseries.TimeSeriesDB` +
+:class:`~repro.obs.timeseries.MetricsSampler` (history),
+:class:`~repro.obs.slo.SLOEngine` (burn rates) and
+:class:`~repro.obs.alerts.AlertManager` (damped alerts on an action bus) —
+behind a single ``tick()``: sample the registry, evaluate every objective,
+advance every alert state machine, publish transitions.  Run it on its
+background thread in a service, or drive ``tick(now=...)`` manually in tests
+with a fake clock.
+
+:func:`doctor_verdict` is the CI face of the same machinery: it folds SLO
+statuses, alert states and (optionally) benchmark-regression warnings into a
+three-level verdict with a process exit code —
+
+* ``0`` healthy — nothing burning, nothing firing;
+* ``1`` degraded — fast-window burn without slow-window confirmation, an
+  exhausted error budget, or a benchmark regression: worth a look, not a page;
+* ``2`` firing — an alert is firing or an SLO is breaching on both windows.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .alerts import FIRING, ActionBus, AlertManager, AlertRule
+from .slo import SLO, SLOEngine, SLOStatus, default_serving_slos
+from .timeseries import MetricsSampler, TimeSeriesConfig, TimeSeriesDB
+
+__all__ = [
+    "DoctorReport",
+    "HealthEngine",
+    "bench_regressions",
+    "doctor_from_dir",
+    "doctor_verdict",
+]
+
+
+class HealthEngine:
+    """Sampling + SLO evaluation + alerting behind one ``tick()``.
+
+    ``log_dir`` (optional) makes the engine durable: the alert manager
+    appends transitions to ``<log_dir>/alerts.jsonl`` as they happen (and
+    replays it on construction for restart dedupe), and :meth:`save` dumps
+    the TSDB and SLO statuses next to it.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        slos: list[SLO] | None = None,
+        rules: list[AlertRule] | None = None,
+        config: TimeSeriesConfig | None = None,
+        interval: float = 1.0,
+        clock=time.time,
+        log_dir=None,
+        for_duration: float = 0.0,
+        resolve_duration: float = 30.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._clock = clock
+        self.log_dir = Path(log_dir) if log_dir is not None else None
+        if self.log_dir is not None:
+            self.log_dir.mkdir(parents=True, exist_ok=True)
+        self.tsdb = TimeSeriesDB(config=config, clock=clock)
+        self.sampler = MetricsSampler(
+            self.tsdb, registry=registry, interval=interval, clock=clock
+        )
+        self.slo_engine = SLOEngine(
+            self.tsdb,
+            slos if slos is not None else default_serving_slos(),
+            clock=clock,
+        )
+        self.alerts = AlertManager(
+            engine=self.slo_engine,
+            rules=rules,
+            log_path=(self.log_dir / "alerts.jsonl") if self.log_dir else None,
+            clock=clock,
+            default_for_duration=for_duration,
+            default_resolve_duration=resolve_duration,
+        )
+        self.last_statuses: list[SLOStatus] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def bus(self) -> ActionBus:
+        return self.alerts.bus
+
+    def subscribe(self, handler, categories=None) -> None:
+        """Register an action-bus subscriber (see :class:`ActionBus`)."""
+        self.bus.subscribe(handler, categories=categories)
+
+    def tick(self, now: float | None = None) -> list[SLOStatus]:
+        """One health cycle: sample → evaluate → alert.  Returns statuses."""
+        ts = self._clock() if now is None else float(now)
+        self.sampler.tick(now=ts)
+        self.last_statuses = self.alerts.evaluate(now=ts)
+        return self.last_statuses
+
+    # ------------------------------------------------------------------ #
+    # Background operation
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.tick()
+
+    def start(self) -> "HealthEngine":
+        if self._thread is not None:
+            raise RuntimeError("health engine already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-health-engine", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Idempotent; takes one final tick so the last interval is covered."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.tick()
+
+    def __enter__(self) -> "HealthEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory=None) -> Path:
+        """Dump ``tsdb.jsonl`` + ``slos.json`` into ``directory`` (defaults
+        to ``log_dir``); the alert log is already there, written live."""
+        target = Path(directory) if directory is not None else self.log_dir
+        if target is None:
+            raise ValueError("no directory given and engine has no log_dir")
+        target.mkdir(parents=True, exist_ok=True)
+        self.tsdb.save(target / "tsdb.jsonl")
+        payload = {
+            "statuses": [status.as_dict() for status in self.last_statuses],
+            "alerts": [alert.as_dict() for alert in self.alerts.alerts()],
+        }
+        (target / "slos.json").write_text(json.dumps(payload, indent=2) + "\n")
+        return target
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark-trajectory regression check (doctor --bench)
+# --------------------------------------------------------------------------- #
+def _bench_direction(metric: str) -> str:
+    """Whether larger is better for a metric, inferred from its name."""
+    name = metric.lower()
+    for token in ("latency", "seconds", "overhead", "time", "ratio_p"):
+        if token in name:
+            return "lower"
+    return "higher"
+
+
+def bench_regressions(
+    bench_dir, tolerance: float = 0.15, window: int = 5
+) -> list[dict]:
+    """Scan ``BENCH_*.json`` histories for newest-vs-trailing-median drift.
+
+    Mirrors ``benchmarks/record.py::check_regression`` (kept in sync by
+    ``tests/obs/test_dashboard.py``) so the doctor can analyse a checkout
+    without importing the benchmarks directory.  Also surfaces any persisted
+    ``regression_warning`` rows the bench runs appended themselves.
+    """
+    found: list[dict] = []
+    root = Path(bench_dir)
+    if not root.exists():
+        return found
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            rows = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            continue
+        if not isinstance(rows, list):
+            continue
+        by_metric: dict[str, list[dict]] = {}
+        for row in rows:
+            if not isinstance(row, dict) or "metric" not in row:
+                continue
+            if row.get("kind") == "regression_warning":
+                found.append(
+                    {
+                        "file": path.name,
+                        "metric": row.get("metric", "?"),
+                        "detail": row.get("detail", "recorded regression warning"),
+                        "source": "recorded",
+                    }
+                )
+                continue
+            by_metric.setdefault(row["metric"], []).append(row)
+        for metric, history in by_metric.items():
+            if len(history) < 4:  # need >= 3 prior rows for a stable median
+                continue
+            prior = [float(r["value"]) for r in history[-(window + 1) : -1]]
+            newest = float(history[-1]["value"])
+            baseline = statistics.median(prior)
+            if baseline == 0:
+                continue
+            direction = _bench_direction(metric)
+            drift = (newest - baseline) / abs(baseline)
+            regressed = drift > tolerance if direction == "lower" else -drift > tolerance
+            if regressed:
+                found.append(
+                    {
+                        "file": path.name,
+                        "metric": metric,
+                        "detail": (
+                            f"newest {newest:.6g} vs trailing median "
+                            f"{baseline:.6g} ({drift:+.1%}, {direction} is better)"
+                        ),
+                        "source": "trend",
+                    }
+                )
+    return found
+
+
+# --------------------------------------------------------------------------- #
+# Doctor
+# --------------------------------------------------------------------------- #
+@dataclass
+class DoctorReport:
+    """Folded health verdict with a CI-ready exit code."""
+
+    code: int  # 0 healthy / 1 degraded / 2 firing
+    verdict: str
+    statuses: list[SLOStatus] = field(default_factory=list)
+    firing: list = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    bench_warnings: list[dict] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"doctor: {self.verdict} (exit {self.code})"]
+        for status in self.statuses:
+            flag = (
+                "BREACHING"
+                if status.breaching
+                else "degraded" if status.degraded else "ok"
+            )
+            lines.append(
+                f"  slo {status.slo.name:<24} {flag:<10} "
+                f"burn fast={status.fast_burn:6.2f} slow={status.slow_burn:6.2f} "
+                f"budget={status.budget_remaining:6.1%} "
+                f"(n={status.fast_samples}) — {status.slo.target()}"
+            )
+        for alert in self.firing:
+            lines.append(
+                f"  alert {alert.name} FIRING since={alert.firing_since} "
+                f"episode={alert.episode} [{alert.category}/{alert.severity}]"
+            )
+        for warning in self.bench_warnings:
+            lines.append(
+                f"  bench {warning['file']}:{warning['metric']} — {warning['detail']}"
+            )
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def doctor_from_dir(
+    directory,
+    bench_dir=None,
+    bench_tolerance: float = 0.15,
+) -> DoctorReport:
+    """Doctor verdict for a *saved* health directory (the CI/offline path).
+
+    Reads the ``slos.json`` statuses and alert states a
+    :meth:`HealthEngine.save` left behind (falling back to replaying
+    ``alerts.jsonl`` when the run died before saving) and applies the same
+    exit-code contract as :func:`doctor_verdict`.  ``bench_dir`` additionally
+    scans ``BENCH_*.json`` histories (``repro doctor --bench``).
+    """
+    from types import SimpleNamespace
+
+    root = Path(directory)
+    payload: dict = {}
+    slos_path = root / "slos.json"
+    if slos_path.exists():
+        try:
+            payload = json.loads(slos_path.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    status_rows = [r for r in payload.get("statuses", []) if isinstance(r, dict)]
+    alert_rows = [r for r in payload.get("alerts", []) if isinstance(r, dict)]
+    if not alert_rows and (root / "alerts.jsonl").exists():
+        manager = AlertManager(log_path=root / "alerts.jsonl")
+        alert_rows = [alert.as_dict() for alert in manager.alerts()]
+    warnings = (
+        bench_regressions(bench_dir, tolerance=bench_tolerance)
+        if bench_dir is not None
+        else []
+    )
+    firing = [SimpleNamespace(**row) for row in alert_rows if row.get("state") == FIRING]
+    breaching = [r for r in status_rows if r.get("breaching")]
+    degraded = [r for r in status_rows if r.get("degraded")]
+    exhausted = [
+        r
+        for r in status_rows
+        if r.get("budget_remaining", 1.0) <= 0.0 and not r.get("breaching")
+    ]
+    notes = [
+        "{slo} {flag}  burn fast={fast:.2f} slow={slow:.2f} budget={budget:.1%} — {target}".format(
+            slo=row.get("slo", "?"),
+            flag=(
+                "BREACHING"
+                if row.get("breaching")
+                else "degraded" if row.get("degraded") else "ok"
+            ),
+            fast=float(row.get("fast_burn", 0.0)),
+            slow=float(row.get("slow_burn", 0.0)),
+            budget=float(row.get("budget_remaining", 1.0)),
+            target=row.get("target", ""),
+        )
+        for row in status_rows
+    ]
+    if firing or breaching:
+        code, verdict = 2, "firing"
+    elif degraded or exhausted or warnings:
+        code, verdict = 1, "degraded"
+    else:
+        code, verdict = 0, "healthy"
+    return DoctorReport(
+        code=code,
+        verdict=verdict,
+        statuses=[],
+        firing=firing,
+        notes=notes,
+        bench_warnings=warnings,
+    )
+
+
+def doctor_verdict(
+    statuses: list[SLOStatus],
+    alerts: list,
+    bench_warnings: list[dict] | None = None,
+) -> DoctorReport:
+    """Fold statuses + alert states (+ bench warnings) into one verdict.
+
+    Exit-code contract (asserted by CI): ``2`` if anything is firing or
+    breaching, else ``1`` if anything is degraded / out of budget / a bench
+    regression exists, else ``0``.
+    """
+    bench_warnings = bench_warnings or []
+    firing = [a for a in alerts if getattr(a, "state", None) == FIRING]
+    breaching = [s for s in statuses if s.breaching]
+    degraded = [s for s in statuses if s.degraded]
+    exhausted = [s for s in statuses if s.budget_remaining <= 0.0 and not s.breaching]
+    notes: list[str] = []
+    if firing or breaching:
+        code, verdict = 2, "firing"
+        notes.extend(f"{s.slo.name} breaching on both windows" for s in breaching)
+        notes.extend(f"{a.name} firing" for a in firing)
+    elif degraded or exhausted or bench_warnings:
+        code, verdict = 1, "degraded"
+        notes.extend(f"{s.slo.name} fast-window burn elevated" for s in degraded)
+        notes.extend(f"{s.slo.name} error budget exhausted" for s in exhausted)
+        notes.extend(
+            f"bench regression: {w['file']}:{w['metric']}" for w in bench_warnings
+        )
+    else:
+        code, verdict = 0, "healthy"
+    return DoctorReport(
+        code=code,
+        verdict=verdict,
+        statuses=list(statuses),
+        firing=firing,
+        notes=notes,
+        bench_warnings=bench_warnings,
+    )

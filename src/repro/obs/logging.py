@@ -1,0 +1,115 @@
+"""Structured JSON logging, stamped with the active trace/span id.
+
+Built on the stdlib :mod:`logging` module so existing ``logging.getLogger``
+call sites keep working — this module only changes what a record looks like
+on the wire.  Every record becomes one JSON object per line with a fixed
+envelope (``ts``, ``level``, ``logger``, ``msg``) plus:
+
+* ``trace_id`` / ``span_id`` / ``span`` from the span active in the calling
+  context (:func:`repro.obs.tracing.current_span`), so a log line emitted
+  inside ``serve.recommend_many`` carries the same ids as the span export and
+  any alert annotated during that request — logs, traces, and alerts join on
+  one id;
+* any ``extra={...}`` fields passed at the call site, so
+  ``log.info("swap", extra={"snapshot": v2})`` needs no string formatting;
+* exception text under ``exc`` when ``exc_info`` is set.
+
+Usage::
+
+    from repro.obs import configure_logging, get_logger
+
+    configure_logging(level="INFO")     # idempotent; JSON to stderr
+    log = get_logger("repro.serve")
+    log.info("snapshot swapped", extra={"version": "v3"})
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+from .tracing import current_span
+
+__all__ = [
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+]
+
+#: LogRecord attributes that are envelope/bookkeeping, not user fields.
+_RESERVED = frozenset(
+    {
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    }
+)
+
+
+class JsonFormatter(logging.Formatter):
+    """Render each record as one JSON line, trace-correlated when possible."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        row = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        active = current_span()
+        if active is not None:
+            row["trace_id"] = active.trace_id
+            row["span_id"] = active.span_id
+            row["span"] = active.name
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key in row or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            row[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            row["exc"] = self.formatException(record.exc_info)
+        return json.dumps(row)
+
+
+#: Marker attribute identifying handlers installed by configure_logging.
+_HANDLER_FLAG = "_repro_obs_json_handler"
+
+
+def configure_logging(
+    level: int | str = logging.INFO,
+    stream=None,
+    logger: str = "repro",
+) -> logging.Logger:
+    """Install a JSON handler on ``logger`` (idempotent).
+
+    Re-calling replaces any handler this function installed earlier (so tests
+    can redirect the stream) but never touches handlers installed by the
+    application.  Returns the configured logger; children created with
+    :func:`get_logger` propagate into it.
+    """
+    target = logging.getLogger(logger)
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+    target.setLevel(level)
+    for handler in list(target.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            target.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    target.addHandler(handler)
+    target.propagate = False
+    return target
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (JSON once configured)."""
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -28,6 +28,7 @@ from the registry active at construction time.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 from bisect import bisect_left
@@ -40,6 +41,8 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "exponential_buckets",
+    "fraction_over",
+    "quantile_from_buckets",
     "enable",
     "disable",
     "enabled",
@@ -117,6 +120,69 @@ def exponential_buckets(start: float, factor: float, count: int) -> tuple[float,
 DEFAULT_BUCKETS = exponential_buckets(1e-6, 2.0, 28)
 
 
+def quantile_from_buckets(
+    bounds: tuple[float, ...], counts, q: float
+) -> float:
+    """``q``-quantile (0..1) of a bucketed distribution.
+
+    ``counts`` holds one per-bucket (non-cumulative) count per bound plus a
+    trailing ``+Inf`` overflow count.  Interpolation inside the winning bucket
+    is *geometric* when both edges are positive — the right shape for
+    exponential buckets, where linear interpolation systematically overshoots
+    low quantiles of wide buckets — and linear for the first bucket (whose
+    lower edge is 0).  Overflow-bucket answers report the last finite bound: a
+    floor, not a lie.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        cumulative += bucket_count
+        if cumulative >= rank and bucket_count:
+            if index >= len(bounds):  # overflow bucket
+                return bounds[-1]
+            upper = bounds[index]
+            lower = bounds[index - 1] if index > 0 else 0.0
+            within = (rank - (cumulative - bucket_count)) / bucket_count
+            if lower > 0.0 and upper > 0.0:
+                return lower * (upper / lower) ** within
+            return lower + (upper - lower) * within
+    return bounds[-1]
+
+
+def fraction_over(bounds: tuple[float, ...], counts, threshold: float) -> float:
+    """Fraction of bucketed observations above ``threshold``.
+
+    The SLO engine's latency primitive: ``p99 < 50ms`` is equivalently "at
+    most 1% of requests exceed 50ms", and that bad-request fraction is what
+    burn rates are computed from.  The bucket straddling the threshold is
+    split geometrically (linearly for the zero-edged first bucket), matching
+    :func:`quantile_from_buckets`.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    below = 0.0
+    for index, bucket_count in enumerate(counts):
+        if index >= len(bounds):
+            break  # overflow bucket: entirely above any finite threshold
+        upper = bounds[index]
+        lower = bounds[index - 1] if index > 0 else 0.0
+        if upper <= threshold:
+            below += bucket_count
+        elif lower < threshold:
+            if lower > 0.0:
+                within = math.log(threshold / lower) / math.log(upper / lower)
+            else:
+                within = threshold / upper if upper > 0 else 0.0
+            below += bucket_count * max(0.0, min(1.0, within))
+    return max(0.0, min(1.0, 1.0 - below / total))
+
+
 class Histogram:
     """Exponential-bucket histogram with cumulative-count exposition.
 
@@ -160,26 +226,16 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Approximate ``q``-quantile (0..1) from the bucket counts.
 
-        Interpolates linearly within the winning bucket (geometrically for
-        the first bucket, which has no lower bound).  Values from the ``+Inf``
-        overflow bucket report the last finite bound — a floor, not a lie.
+        Delegates to :func:`quantile_from_buckets`: geometric interpolation
+        within the winning exponential bucket (linear for the zero-edged
+        first bucket); overflow-bucket answers report the last finite bound —
+        a floor, not a lie.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("q must be in [0, 1]")
-        if self._count == 0:
-            return 0.0
-        rank = q * self._count
-        cumulative = 0
-        for index, bucket_count in enumerate(self.bucket_counts):
-            cumulative += bucket_count
-            if cumulative >= rank and bucket_count:
-                if index >= len(self.bounds):  # overflow bucket
-                    return self.bounds[-1]
-                upper = self.bounds[index]
-                lower = self.bounds[index - 1] if index > 0 else 0.0
-                within = (rank - (cumulative - bucket_count)) / bucket_count
-                return lower + (upper - lower) * within
-        return self.bounds[-1]
+        return quantile_from_buckets(self.bounds, self.bucket_counts, q)
+
+    def fraction_over(self, threshold: float) -> float:
+        """Fraction of recorded observations above ``threshold``."""
+        return fraction_over(self.bounds, self.bucket_counts, threshold)
 
 
 # --------------------------------------------------------------------------- #

@@ -42,6 +42,7 @@ from pathlib import Path
 __all__ = [
     "Span",
     "Tracer",
+    "current_span",
     "span",
     "trace",
     "enable_tracing",
@@ -93,6 +94,17 @@ class Span:
 
 #: The active span of the current logical context (None at top level).
 _CURRENT: ContextVar[Span | None] = ContextVar("repro_obs_span", default=None)
+
+
+def current_span() -> Span | None:
+    """The span active in this logical context, or ``None`` at top level.
+
+    The join key between the three telemetry streams: the structured logger
+    (:mod:`repro.obs.logging`) stamps every record with the active span's
+    ``trace_id``/``span_id``, so logs, span exports and alert annotations all
+    meet on one id.
+    """
+    return _CURRENT.get()
 
 
 class Tracer:

@@ -33,6 +33,7 @@ import numpy as np
 from ..obs.metrics import exponential_buckets, get_registry
 from ..obs.tracing import span
 from ..reliability.breaker import CircuitBreaker
+from ..reliability.faults import fault_point
 from .retrieval import PAD_INDEX, ExactIndex, Retriever
 from .snapshot import EmbeddingSnapshot
 
@@ -499,6 +500,7 @@ class RecommendationService:
                 elif self.breaker.allow():
                     try:
                         with span("serve.retrieval", users=len(warm)):
+                            fault_point("serve.retrieval")
                             rows = self.retriever.topk_for_users(batch, k)
                     except Exception:
                         # Index or embedding failure: feed the breaker and fall

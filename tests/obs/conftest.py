@@ -1,0 +1,38 @@
+"""Shared fixtures for the observability test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesDB
+
+
+class FakeClock:
+    """Injectable clock: every time-window test advances it explicitly, so
+    no test sleeps to make wall time pass."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock(1000.0)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def tsdb(clock):
+    return TimeSeriesDB(clock=clock)

@@ -1,0 +1,318 @@
+"""Alert lifecycle: damping, episodes, restart dedupe, and the action bus."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.alerts import (
+    FIRING,
+    INACTIVE,
+    PENDING,
+    RESOLVED,
+    ActionBus,
+    Alert,
+    AlertManager,
+    AlertRule,
+    breaker_subscriber,
+    retrain_subscriber,
+)
+from repro.obs.slo import SLOEngine
+from repro.obs.timeseries import TimeSeriesDB
+from repro.reliability.breaker import CircuitBreaker
+
+
+class Condition:
+    """A rule predicate the test flips on and off."""
+
+    def __init__(self) -> None:
+        self.active = False
+
+    def __call__(self, tsdb, now) -> bool:
+        return self.active
+
+
+def manager_with(condition, clock, for_duration=2.0, resolve_duration=3.0, **kwargs):
+    rule = AlertRule(
+        name="cond",
+        predicate=condition,
+        category="health",
+        severity="warn",
+        for_duration=for_duration,
+        resolve_duration=resolve_duration,
+    )
+    return AlertManager(engine=None, rules=[rule], clock=clock, **kwargs)
+
+
+class TestStateMachine:
+    def test_for_duration_gates_firing(self, clock):
+        condition = Condition()
+        manager = manager_with(condition, clock)
+        condition.active = True
+        manager.evaluate()
+        alert = manager.alerts()[0]
+        assert alert.state == PENDING  # active, but not for long enough
+        clock.advance(1.0)
+        manager.evaluate()
+        assert manager.alerts()[0].state == PENDING
+        clock.advance(1.5)
+        manager.evaluate()
+        alert = manager.alerts()[0]
+        assert alert.state == FIRING
+        assert alert.episode == 1
+
+    def test_blip_shorter_than_for_duration_never_fires(self, clock):
+        condition = Condition()
+        manager = manager_with(condition, clock)
+        condition.active = True
+        manager.evaluate()
+        condition.active = False
+        clock.advance(1.0)
+        manager.evaluate()
+        assert manager.alerts()[0].state == INACTIVE
+        assert manager.transitions == 0
+
+    def test_resolve_duration_gates_resolution(self, clock):
+        condition = Condition()
+        manager = manager_with(condition, clock, for_duration=0.0)
+        condition.active = True
+        manager.evaluate()
+        assert manager.alerts()[0].state == FIRING
+        condition.active = False
+        clock.advance(1.0)
+        manager.evaluate()
+        assert manager.alerts()[0].state == FIRING  # still inside damping
+        clock.advance(3.0)
+        manager.evaluate()
+        assert manager.alerts()[0].state == RESOLVED
+
+    def test_flap_damping_under_oscillation(self, clock):
+        """A signal oscillating faster than resolve_duration yields ONE
+        episode, not a page storm."""
+        condition = Condition()
+        manager = manager_with(condition, clock, for_duration=0.0, resolve_duration=5.0)
+        events = []
+        manager.bus.subscribe(lambda event, alert: events.append(event))
+        for _ in range(20):  # flip every second for 20 s
+            condition.active = not condition.active
+            clock.advance(1.0)
+            manager.evaluate()
+        alert = manager.alerts()[0]
+        assert alert.episode == 1
+        assert events == ["firing"]
+        # Once the signal stays clear past the damping window, it resolves.
+        condition.active = False
+        clock.advance(6.0)
+        manager.evaluate()
+        assert manager.alerts()[0].state == RESOLVED
+        assert events == ["firing", "resolved"]
+
+    def test_refire_after_resolution_is_a_new_episode(self, clock):
+        condition = Condition()
+        manager = manager_with(condition, clock, for_duration=0.0, resolve_duration=1.0)
+        condition.active = True
+        manager.evaluate()
+        condition.active = False
+        clock.advance(1.0)
+        manager.evaluate()  # first clear observation starts the damping timer
+        clock.advance(2.0)
+        manager.evaluate()  # stayed clear past resolve_duration: resolved
+        assert manager.alerts()[0].state == RESOLVED
+        condition.active = True
+        clock.advance(1.0)
+        manager.evaluate()
+        alert = manager.alerts()[0]
+        assert alert.state == FIRING
+        assert alert.episode == 2
+
+
+class TestActionBus:
+    def test_category_routing(self):
+        bus = ActionBus()
+        latency_events, all_events = [], []
+        bus.subscribe(lambda e, a: latency_events.append(a.name), categories=("latency",))
+        bus.subscribe(lambda e, a: all_events.append(a.name))
+        bus.publish("firing", Alert(name="lat", category="latency", severity="page"))
+        bus.publish("firing", Alert(name="qual", category="quality", severity="warn"))
+        assert latency_events == ["lat"]
+        assert all_events == ["lat", "qual"]
+
+    def test_failing_subscriber_does_not_block_delivery(self):
+        bus = ActionBus()
+        received = []
+
+        def broken(event, alert):
+            raise RuntimeError("subscriber bug")
+
+        bus.subscribe(broken)
+        bus.subscribe(lambda e, a: received.append(a.name))
+        delivered = bus.publish("firing", Alert(name="x", category="health", severity="warn"))
+        assert delivered == 1
+        assert received == ["x"]
+        assert bus.errors == 1
+
+
+class TestAlertLogAndRestartDedupe:
+    def test_transitions_are_logged_as_jsonl(self, clock, tmp_path):
+        log = tmp_path / "alerts.jsonl"
+        condition = Condition()
+        manager = manager_with(
+            condition, clock, for_duration=0.0, resolve_duration=1.0, log_path=log
+        )
+        condition.active = True
+        manager.evaluate()
+        condition.active = False
+        clock.advance(1.0)
+        manager.evaluate()
+        clock.advance(2.0)
+        manager.evaluate()
+        rows = [json.loads(line) for line in log.read_text().splitlines()]
+        assert [row["event"] for row in rows] == ["firing", "resolved"]
+        assert all(row["name"] == "rule:cond" for row in rows)
+
+    def test_restart_does_not_refire_inflight_episode(self, clock, tmp_path):
+        """An alert firing at shutdown is still firing after replay — and its
+        firing transition is NOT re-published (dedupe across restart)."""
+        log = tmp_path / "alerts.jsonl"
+        condition = Condition()
+        manager = manager_with(condition, clock, for_duration=0.0, log_path=log)
+        condition.active = True
+        manager.evaluate()
+        assert manager.alerts()[0].state == FIRING
+
+        # "Restart": a fresh manager over the same log (TSDB reload scenario).
+        events = []
+        reborn = manager_with(condition, clock, for_duration=0.0, log_path=log)
+        reborn.bus.subscribe(lambda event, alert: events.append(event))
+        alert = reborn.alerts()[0]
+        assert alert.state == FIRING
+        assert alert.episode == 1
+        # Condition still bad: evaluating again publishes nothing new.
+        clock.advance(1.0)
+        reborn.evaluate()
+        assert events == []
+        assert reborn.alerts()[0].episode == 1
+        # Eventual recovery publishes the resolution exactly once.
+        condition.active = False
+        clock.advance(1.0)
+        reborn.evaluate()
+        clock.advance(5.0)
+        reborn.evaluate()
+        assert events == ["resolved"]
+
+    def test_restart_continues_episode_numbering(self, clock, tmp_path):
+        log = tmp_path / "alerts.jsonl"
+        condition = Condition()
+        manager = manager_with(
+            condition, clock, for_duration=0.0, resolve_duration=1.0, log_path=log
+        )
+        for _ in range(3):  # three full episodes
+            condition.active = True
+            clock.advance(1.0)
+            manager.evaluate()
+            condition.active = False
+            clock.advance(1.0)
+            manager.evaluate()
+            clock.advance(2.0)
+            manager.evaluate()
+        reborn = manager_with(condition, clock, for_duration=0.0, log_path=log)
+        assert reborn.alerts()[0].episode == 3
+        condition.active = True
+        clock.advance(1.0)
+        reborn.evaluate()
+        assert reborn.alerts()[0].episode == 4
+
+    def test_torn_log_tail_is_tolerated(self, clock, tmp_path):
+        log = tmp_path / "alerts.jsonl"
+        condition = Condition()
+        manager = manager_with(condition, clock, for_duration=0.0, log_path=log)
+        condition.active = True
+        manager.evaluate()
+        with open(log, "a") as handle:
+            handle.write('{"name": "rule:cond", "event": "reso')  # torn write
+        reborn = manager_with(condition, clock, for_duration=0.0, log_path=log)
+        assert reborn.alerts()[0].state == FIRING
+
+
+class TestSubscribers:
+    class StubOrchestrator:
+        def __init__(self) -> None:
+            self.signals = []
+
+        def submit(self, signal) -> None:
+            self.signals.append(signal)
+
+    def test_retrain_fires_exactly_once_per_episode(self, clock):
+        condition = Condition()
+        manager = manager_with(
+            condition,
+            clock,
+            for_duration=0.0,
+            resolve_duration=1.0,
+        )
+        orchestrator = self.StubOrchestrator()
+        manager.bus.subscribe(retrain_subscriber(orchestrator), categories=("health",))
+        condition.active = True
+        for _ in range(5):  # stays bad for 5 evaluations: one episode
+            clock.advance(1.0)
+            manager.evaluate()
+        assert len(orchestrator.signals) == 1
+        signal = orchestrator.signals[0]
+        assert signal.reasons == ("alert:rule:cond#e1",)
+        # Second episode queues a second retrain.
+        condition.active = False
+        clock.advance(1.0)
+        manager.evaluate()
+        clock.advance(2.0)
+        manager.evaluate()
+        condition.active = True
+        clock.advance(1.0)
+        manager.evaluate()
+        assert len(orchestrator.signals) == 2
+        assert orchestrator.signals[1].reasons == ("alert:rule:cond#e2",)
+
+    def test_retrain_subscriber_dedupes_replayed_transitions(self):
+        orchestrator = self.StubOrchestrator()
+        handler = retrain_subscriber(orchestrator)
+        alert = Alert(name="a", category="quality", severity="warn", episode=1)
+        handler("firing", alert)
+        handler("firing", alert)  # duplicated delivery
+        handler("resolved", alert)
+        assert len(orchestrator.signals) == 1
+
+    def test_breaker_subscriber_pre_opens_and_recovers(self):
+        breaker = CircuitBreaker()
+        handler = breaker_subscriber(breaker)
+        alert = Alert(name="lat", category="latency", severity="page", episode=1)
+        assert breaker.allow()
+        handler("firing", alert)
+        assert not breaker.allow()  # pre-opened: load is shed
+        handler("resolved", alert)
+        assert breaker.allow()
+
+    def test_slo_driven_alert_carries_burn_context(self, registry, tsdb, clock):
+        from repro.obs.slo import SLO
+
+        slo = SLO(
+            name="lat",
+            kind="latency",
+            metric="lat_seconds",
+            objective=0.050,
+            fast_window=10.0,
+            slow_window=30.0,
+            budget_window=120.0,
+            min_samples=5,
+        )
+        hist = registry.histogram("lat_seconds", "x")
+        engine = SLOEngine(tsdb, [slo], clock=clock)
+        manager = AlertManager(engine=engine, clock=clock, default_for_duration=0.0)
+        for _ in range(40):
+            clock.advance(1.0)
+            for _ in range(5):
+                hist.observe(0.2)
+            tsdb.sample(registry)
+        manager.evaluate()
+        alert = manager.firing()[0]
+        assert alert.name == "slo:lat"
+        assert alert.context["fast_burn"] >= 2.0

@@ -1,0 +1,200 @@
+"""End-to-end closed loop: brownout → burn-rate alert → action bus → recovery.
+
+The acceptance scenario for the health engine, driven deterministically:
+
+1. an instrumented :class:`RecommendationService` serves healthy traffic under
+   a :class:`HealthEngine` sampling at the default 1 s cadence (fake clock);
+2. a ``REPRO_FAULTS`` brownout injects a retrieval delay that drives p99 far
+   over the latency objective → the multi-window burn-rate SLO breaches →
+   the alert fires;
+3. the action bus reacts: the orchestrator subscriber receives exactly one
+   retrain signal and the breaker subscriber pre-opens the service's circuit
+   breaker, shedding load to the popularity fallback;
+4. the fault clears, the windows drain, the alert resolves, the breaker
+   resets, and full service resumes — one episode end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import HealthEngine, use_registry
+from repro.obs.alerts import FIRING, RESOLVED, breaker_subscriber, retrain_subscriber
+from repro.obs.slo import SLO
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import FaultInjector, inject_faults
+from repro.serve import RecommendationService, build_snapshot
+from repro.serve.retrieval import ExactIndex
+
+NUM_USERS = 64
+USERS_PER_TICK = 8
+OBJECTIVE = 0.004  # seconds; injected delay is 5x this
+DELAY = 0.02
+
+
+def tight_latency_slo() -> SLO:
+    return SLO(
+        name="serve-latency-p99",
+        kind="latency",
+        metric="serve.request.latency_seconds",
+        objective=OBJECTIVE,
+        quantile=0.99,
+        fast_window=5.0,
+        slow_window=15.0,
+        budget_window=60.0,
+        min_samples=3,
+        severity="page",
+        category="latency",
+    )
+
+
+class StubOrchestrator:
+    def __init__(self) -> None:
+        self.signals = []
+
+    def submit(self, signal) -> None:
+        self.signals.append(signal)
+
+
+@pytest.fixture
+def corpus():
+    rng = np.random.default_rng(0)
+    users = rng.normal(size=(NUM_USERS, 16))
+    items = rng.normal(size=(96, 16))
+    pairs = np.array([[u, u % 96] for u in range(NUM_USERS)])
+    return build_snapshot(users, items, train_pairs=pairs, model_name="t", dataset_name="t")
+
+
+def test_closed_loop_brownout_alert_shed_recover(corpus, clock, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "1")
+    with use_registry() as registry:
+        # Breaker with a huge reset timeout: only the alert→action bus may
+        # close it again, so a resolution proves the loop (not a timer).
+        breaker = CircuitBreaker(reset_timeout=10_000.0)
+        service = RecommendationService(
+            corpus,
+            index=ExactIndex(corpus.item_embeddings),
+            cache_size=0,  # every tick must hit retrieval (and the fault point)
+            breaker=breaker,
+        )
+        engine = HealthEngine(
+            registry=registry,
+            slos=[tight_latency_slo()],
+            interval=1.0,  # the default sampling cadence
+            clock=clock,
+            log_dir=tmp_path,
+            resolve_duration=8.0,
+        )
+        orchestrator = StubOrchestrator()
+        engine.subscribe(retrain_subscriber(orchestrator), categories=("latency",))
+        engine.subscribe(breaker_subscriber(breaker), categories=("latency",))
+
+        def tick(step: int):
+            users = [(step * USERS_PER_TICK + i) % NUM_USERS for i in range(USERS_PER_TICK)]
+            results = service.recommend_many(users, k=5)
+            clock.advance(1.0)
+            engine.tick()
+            return results
+
+        # -- phase 1: healthy traffic -----------------------------------
+        for step in range(10):
+            results = tick(step)
+        assert all(r.source != "popularity" for r in results)
+        assert engine.last_statuses[0].healthy
+        assert engine.alerts.firing() == []
+
+        # -- phase 2: brownout ------------------------------------------
+        injector = FaultInjector().arm(
+            "serve.retrieval", times=None, probability=1.0, mode="delay", delay=DELAY
+        )
+        with inject_faults(injector):
+            step = 10
+            while engine.alerts.firing() == [] and step < 30:
+                tick(step)
+                step += 1
+        alert = engine.alerts.firing()[0]
+        assert alert.name == "slo:serve-latency-p99"
+        assert alert.episode == 1
+        assert engine.last_statuses[0].breaching
+        # The bus acted: exactly one retrain signal, breaker pre-opened.
+        assert len(orchestrator.signals) == 1
+        assert orchestrator.signals[0].reasons == ("alert:slo:serve-latency-p99#e1",)
+        assert not breaker.allow()
+
+        # With the breaker open the next queries shed to the fallback.
+        shed = tick(step)
+        step += 1
+        assert all(r.source == "popularity" for r in shed)
+
+        # -- phase 3: fault cleared, windows drain, alert resolves ------
+        for _ in range(40):
+            tick(step)
+            step += 1
+            if engine.alerts.alerts()[0].state == RESOLVED:
+                break
+        resolved = engine.alerts.alerts()[0]
+        assert resolved.state == RESOLVED
+        assert resolved.episode == 1  # one episode, no flapping
+        assert len(orchestrator.signals) == 1  # still exactly one retrain
+        # Resolution reset the breaker: full service is back.
+        assert breaker.allow()
+        healthy_again = tick(step)
+        assert all(r.source != "popularity" for r in healthy_again)
+
+        # Artefacts survived for the offline CLIs.
+        engine.save()
+        assert (tmp_path / "alerts.jsonl").exists()
+        assert (tmp_path / "tsdb.jsonl").exists()
+        events = [
+            line.split('"event": "')[1].split('"')[0]
+            for line in (tmp_path / "alerts.jsonl").read_text().splitlines()
+        ]
+        assert events == ["firing", "resolved"]
+
+
+def test_sampling_cadence_and_alert_log_restart(corpus, clock, tmp_path, monkeypatch):
+    """A restarted engine over the same log_dir does not re-fire the episode
+    the previous process already delivered (dedupe across TSDB reload)."""
+    monkeypatch.setenv("REPRO_FAULTS", "1")
+    with use_registry() as registry:
+        service = RecommendationService(
+            corpus, index=ExactIndex(corpus.item_embeddings), cache_size=0
+        )
+        engine = HealthEngine(
+            registry=registry,
+            slos=[tight_latency_slo()],
+            clock=clock,
+            log_dir=tmp_path,
+        )
+        injector = FaultInjector().arm(
+            "serve.retrieval", times=None, probability=1.0, mode="delay", delay=DELAY
+        )
+        with inject_faults(injector):
+            for step in range(12):
+                users = [(step * 8 + i) % NUM_USERS for i in range(8)]
+                service.recommend_many(users, k=5)
+                clock.advance(1.0)
+                engine.tick()
+        assert engine.alerts.firing() != []
+        engine.save()
+
+        # "Restart": new engine, same directory; TSDB reloads independently.
+        from repro.obs import TimeSeriesDB
+
+        reloaded_tsdb = TimeSeriesDB.load(tmp_path / "tsdb.jsonl", clock=clock)
+        assert len(reloaded_tsdb) == len(engine.tsdb)
+        events = []
+        reborn = HealthEngine(
+            registry=registry,
+            slos=[tight_latency_slo()],
+            clock=clock,
+            log_dir=tmp_path,
+        )
+        reborn.subscribe(lambda event, alert: events.append(event))
+        alert = reborn.alerts.alerts()[0]
+        assert alert.state == FIRING
+        assert alert.episode == 1
+        clock.advance(1.0)
+        reborn.tick()
+        assert events == []  # the in-flight episode is not re-delivered

@@ -1,0 +1,113 @@
+"""Structured JSON logging: envelope, extras, trace correlation."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs.logging import JsonFormatter, configure_logging, get_logger
+from repro.obs.tracing import Tracer, use_tracer
+
+
+def capture_logger(name="repro"):
+    stream = io.StringIO()
+    logger = configure_logging(level="INFO", stream=stream, logger=name)
+    return logger, stream
+
+
+def rows(stream) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonEnvelope:
+    def test_basic_record_shape(self):
+        logger, stream = capture_logger()
+        logger.info("snapshot swapped")
+        (row,) = rows(stream)
+        assert row["msg"] == "snapshot swapped"
+        assert row["level"] == "INFO"
+        assert row["logger"] == "repro"
+        assert isinstance(row["ts"], float)
+
+    def test_extra_fields_pass_through(self):
+        logger, stream = capture_logger()
+        logger.info("swap", extra={"version": "v3", "users": 12})
+        (row,) = rows(stream)
+        assert row["version"] == "v3"
+        assert row["users"] == 12
+
+    def test_unserialisable_extras_fall_back_to_repr(self):
+        logger, stream = capture_logger()
+        logger.info("x", extra={"obj": object()})
+        (row,) = rows(stream)
+        assert row["obj"].startswith("<object object")
+
+    def test_exception_text_included(self):
+        logger, stream = capture_logger()
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logger.exception("failed")
+        (row,) = rows(stream)
+        assert row["level"] == "ERROR"
+        assert "ValueError: boom" in row["exc"]
+
+    def test_percent_formatting_still_works(self):
+        logger, stream = capture_logger()
+        logger.info("served %d users", 7)
+        (row,) = rows(stream)
+        assert row["msg"] == "served 7 users"
+
+
+class TestTraceCorrelation:
+    def test_record_inside_span_carries_trace_ids(self):
+        logger, stream = capture_logger()
+        with use_tracer(Tracer()) as tracer:
+            with tracer.trace("serve.request"):
+                with tracer.span("serve.retrieval"):
+                    logger.info("searching")
+                logger.info("assembling")
+        logger.info("outside")
+        inner, mid, outside = rows(stream)
+        assert inner["span"] == "serve.retrieval"
+        assert mid["span"] == "serve.request"
+        assert inner["trace_id"] == mid["trace_id"]
+        assert inner["span_id"] != mid["span_id"]
+        assert "trace_id" not in outside
+
+    def test_log_span_join_key_matches_export(self, tmp_path):
+        """The ids a log row carries are the ids the span export carries —
+        the join the alert runbook relies on."""
+        logger, stream = capture_logger()
+        with use_tracer(Tracer()) as tracer:
+            with tracer.trace("op"):
+                logger.info("inside")
+            export = tmp_path / "spans.jsonl"
+            tracer.export_jsonl(export)
+        (row,) = rows(stream)
+        (span_row,) = [json.loads(l) for l in export.read_text().splitlines()]
+        assert row["trace_id"] == span_row["trace_id"]
+        assert row["span_id"] == span_row["span_id"]
+
+
+class TestConfiguration:
+    def test_reconfigure_replaces_only_own_handler(self):
+        logger, _ = capture_logger(name="repro.cfg")
+        foreign = logging.NullHandler()
+        logger.addHandler(foreign)
+        before = len(logger.handlers)
+        configure_logging(stream=io.StringIO(), logger="repro.cfg")
+        assert len(logger.handlers) == before  # swapped ours, kept theirs
+        assert foreign in logger.handlers
+        logger.removeHandler(foreign)
+
+    def test_get_logger_normalises_names(self):
+        assert get_logger("serve").name == "repro.serve"
+        assert get_logger("repro.stream").name == "repro.stream"
+        assert get_logger().name == "repro"
+
+    def test_formatter_is_reusable_standalone(self):
+        record = logging.LogRecord("x", logging.INFO, __file__, 1, "hi", (), None)
+        row = json.loads(JsonFormatter().format(record))
+        assert row["msg"] == "hi"

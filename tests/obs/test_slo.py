@@ -1,0 +1,163 @@
+"""SLO engine: burn rates, multi-window breach logic, budget accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import SLO, SLOEngine, default_serving_slos
+
+
+def latency_slo(**overrides) -> SLO:
+    base = dict(
+        name="lat",
+        kind="latency",
+        metric="lat_seconds",
+        objective=0.050,
+        quantile=0.99,
+        fast_window=10.0,
+        slow_window=30.0,
+        budget_window=120.0,
+        min_samples=5,
+    )
+    base.update(overrides)
+    return SLO(**base)
+
+
+class TestDeclaration:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            latency_slo(kind="weird")
+        with pytest.raises(ValueError, match="quantile"):
+            latency_slo(quantile=1.0)
+        with pytest.raises(ValueError, match="total_metric"):
+            SLO(name="r", kind="ratio", metric="bad", objective=0.02)
+        with pytest.raises(ValueError, match="fraction"):
+            SLO(name="r", kind="ratio", metric="b", total_metric="t", objective=2.0)
+        with pytest.raises(ValueError, match="fast_window"):
+            latency_slo(fast_window=60.0, slow_window=30.0)
+
+    def test_budget(self):
+        assert latency_slo(quantile=0.99).budget == pytest.approx(0.01)
+        ratio = SLO(name="r", kind="ratio", metric="b", total_metric="t", objective=0.02)
+        assert ratio.budget == 0.02
+
+    def test_target_strings(self):
+        assert "p99 < 50ms" in latency_slo().target()
+        ratio = SLO(
+            name="r", kind="ratio", metric="bad", total_metric="total", objective=0.02
+        )
+        assert "< 2.0%" in ratio.target()
+
+    def test_duplicate_names_rejected(self, tsdb):
+        engine = SLOEngine(tsdb, [latency_slo()])
+        with pytest.raises(ValueError, match="duplicate"):
+            engine.add(latency_slo())
+
+    def test_default_serving_slos_cover_latency_and_quality(self):
+        slos = default_serving_slos()
+        assert {s.category for s in slos} == {"latency", "quality"}
+        assert any(s.metric == "serve.request.latency_seconds" for s in slos)
+
+
+def drive(registry, tsdb, clock, hist, seconds, latency, per_second=5):
+    for _ in range(seconds):
+        clock.advance(1.0)
+        for _ in range(per_second):
+            hist.observe(latency)
+        tsdb.sample(registry)
+
+
+class TestBurnRates:
+    def test_healthy_traffic_does_not_burn(self, registry, tsdb, clock):
+        hist = registry.histogram("lat_seconds", "x")
+        engine = SLOEngine(tsdb, [latency_slo()], clock=clock)
+        drive(registry, tsdb, clock, hist, 40, latency=0.004)
+        status = engine.evaluate()[0]
+        assert status.fast_burn < 1.0
+        assert not status.breaching and not status.degraded
+        assert status.healthy
+        assert status.budget_remaining > 0.9
+
+    def test_sustained_breach_burns_both_windows(self, registry, tsdb, clock):
+        hist = registry.histogram("lat_seconds", "x")
+        engine = SLOEngine(tsdb, [latency_slo()], clock=clock)
+        drive(registry, tsdb, clock, hist, 40, latency=0.2)
+        status = engine.evaluate()[0]
+        assert status.fast_burn >= 2.0
+        assert status.slow_burn >= 2.0
+        assert status.breaching
+        assert status.budget_remaining == 0.0
+
+    def test_fast_spike_is_degraded_not_breaching(self, registry, tsdb, clock):
+        hist = registry.histogram("lat_seconds", "x")
+        # Slow window long enough that a short spike cannot move it.
+        slo = latency_slo(slow_window=2000.0, budget_window=4000.0)
+        engine = SLOEngine(tsdb, [slo], clock=clock)
+        drive(registry, tsdb, clock, hist, 600, latency=0.004)
+        drive(registry, tsdb, clock, hist, 8, latency=0.2)
+        status = engine.evaluate()[0]
+        assert status.fast_burn >= 2.0
+        assert status.slow_burn < 2.0
+        assert status.degraded and not status.breaching
+
+    def test_min_samples_gates_confidence(self, registry, tsdb, clock):
+        hist = registry.histogram("lat_seconds", "x")
+        engine = SLOEngine(tsdb, [latency_slo(min_samples=100)], clock=clock)
+        drive(registry, tsdb, clock, hist, 40, latency=0.2, per_second=2)
+        status = engine.evaluate()[0]
+        # Burning hard, but too few samples in the fast window to page on.
+        assert status.fast_burn >= 2.0
+        assert not status.breaching and not status.degraded
+
+    def test_no_traffic_is_healthy(self, tsdb, clock):
+        engine = SLOEngine(tsdb, [latency_slo()], clock=clock)
+        status = engine.evaluate()[0]
+        assert status.healthy
+        assert status.fast_samples == 0
+
+
+class TestRatioSLO:
+    def ratio_slo(self) -> SLO:
+        return SLO(
+            name="fallbacks",
+            kind="ratio",
+            metric="bad_total",
+            total_metric="all_total",
+            objective=0.02,
+            fast_window=10.0,
+            slow_window=30.0,
+            budget_window=120.0,
+            min_samples=5,
+            category="quality",
+        )
+
+    def test_ratio_burn(self, registry, tsdb, clock):
+        bad = registry.counter("bad_total", "x")
+        total = registry.counter("all_total", "x")
+        engine = SLOEngine(tsdb, [self.ratio_slo()], clock=clock)
+        for second in range(40):
+            clock.advance(1.0)
+            total.inc(10)
+            if second >= 20:
+                bad.inc(2)  # 20% bad against a 2% objective: burn 10
+            tsdb.sample(registry)
+        status = engine.evaluate()[0]
+        assert status.fast_burn == pytest.approx(10.0, rel=0.15)
+        assert status.breaching
+
+    def test_ratio_with_no_traffic_is_healthy(self, registry, tsdb, clock):
+        engine = SLOEngine(tsdb, [self.ratio_slo()], clock=clock)
+        clock.advance(1.0)
+        tsdb.sample(registry)
+        status = engine.evaluate()[0]
+        assert status.healthy
+        assert status.fast_burn == 0.0
+
+    def test_status_as_dict_is_json_ready(self, registry, tsdb, clock):
+        import json
+
+        engine = SLOEngine(tsdb, [self.ratio_slo()], clock=clock)
+        row = engine.evaluate()[0].as_dict()
+        json.dumps(row)
+        assert row["slo"] == "fallbacks"
+        assert row["category"] == "quality"
