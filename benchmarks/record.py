@@ -25,6 +25,21 @@ predecessors, and ``record(..., guard_tolerance=...)`` appends a
 drifted past tolerance — so a regression lands in the committed history
 itself, where ``repro doctor --bench`` and reviewers both see it.  Warning
 rows carry the same metric name but are excluded from future medians.
+
+``record(..., bound=...)`` declares the benchmark's *own* acceptance
+threshold (the ceiling a ratio must stay under, or the floor a speedup must
+clear).  A value that violates its bound is persisted as the warning row
+itself — annotated, excluded from every future trailing median — because a
+measurement from a failing run is evidence of the failure, not a baseline.
+Bench tests call ``record`` before their ``assert`` so the breach is
+journaled either way; the bound keeps that ordering from laundering a red
+run into clean history.
+
+``record(..., context=True)`` marks a row as measurement *context* — the raw
+q/s or ms behind a machine-invariant headline ratio.  Context rows are kept
+for forensics but exempt from every regression check (here and in ``repro
+doctor --bench``): absolute throughput tracks the machine du jour, and a
+slower CI box is not a code regression.
 """
 
 from __future__ import annotations
@@ -113,12 +128,20 @@ def _load_history(path: Path) -> list:
 def infer_direction(metric: str) -> str:
     """``"lower"`` or ``"higher"`` — which way is better, from the name.
 
-    Time-ish metrics (latency, seconds, overhead ratios) regress upward;
-    throughput-ish metrics (q/s, events/s, recall) regress downward.  Kept in
-    sync with ``repro.obs.health._bench_direction`` so the doctor and the
-    bench runs agree on what counts as a regression.
+    Time-ish metrics (latency, seconds, ``_ms`` suffixes, overhead ratios)
+    regress upward; throughput-ish metrics (q/s, events/s, recall) regress
+    downward.  The ``_ms`` and ``qps`` checks run first because compound
+    names inherit their parent's tokens (``epoch_speedup_eager_ms`` is a
+    time despite "speedup"; ``serving_overhead_ratio_disabled_qps`` is a
+    throughput despite "overhead").  Kept in sync with
+    ``repro.obs.health._bench_direction`` so the doctor and the bench runs
+    agree on what counts as a regression.
     """
     name = metric.lower()
+    if "_ms" in name:
+        return "lower"
+    if "qps" in name or "per_s" in name:
+        return "higher"
     for token in ("latency", "seconds", "overhead", "time", "ratio_p"):
         if token in name:
             return "lower"
@@ -145,9 +168,7 @@ def check_regression(
     rows = [
         r
         for r in history
-        if isinstance(r, dict)
-        and r.get("metric") == metric
-        and r.get("kind") != "regression_warning"
+        if isinstance(r, dict) and r.get("metric") == metric and r.get("kind") is None
     ]
     if len(rows) < 4:  # newest + >= 3 predecessors
         return None
@@ -177,6 +198,8 @@ def record(
     path: Path | str | None = None,
     guard_tolerance: float | None = None,
     guard_direction: str | None = None,
+    bound: float | None = None,
+    context: bool = False,
 ) -> dict:
     """Append one measurement row and return it.
 
@@ -191,7 +214,22 @@ def record(
     appends a ``kind="regression_warning"`` row in the same atomic write —
     the history then *records* that the regression happened at this commit
     instead of silently absorbing the bad number into future baselines.
+
+    ``bound`` is the benchmark's own acceptance threshold — a ceiling when
+    lower is better for this metric, a floor when higher is (direction from
+    ``guard_direction`` or :func:`infer_direction`).  A value violating its
+    bound is written as the ``regression_warning`` row *itself*: the breach
+    is journaled at this commit, ``repro doctor --bench`` surfaces it, and
+    no future trailing median treats the failing run as a baseline.  The
+    median guard is skipped for such a row — it is already flagged.
+
+    ``context=True`` stamps the row ``kind="context"``: raw machine-speed
+    numbers (q/s, ms) that explain a headline ratio but must never be
+    regression-checked themselves.  Context rows take no ``bound`` or
+    ``guard_tolerance``.
     """
+    if context and (bound is not None or guard_tolerance is not None):
+        raise ValueError("context rows take no bound or guard_tolerance")
     path = Path(path) if path is not None else DEFAULT_HISTORY
     row = {
         "metric": str(metric),
@@ -201,9 +239,30 @@ def record(
         "schema": RECORD_SCHEMA,
         "env": env_metadata(),
     }
+    if context:
+        row["kind"] = "context"
+    direction = guard_direction or infer_direction(metric)
+    breached = bound is not None and (
+        float(value) > bound if direction == "lower" else float(value) < bound
+    )
+    if breached:
+        comparison = ">" if direction == "lower" else "<"
+        row["kind"] = "regression_warning"
+        row["bound"] = float(bound)
+        row["direction"] = direction
+        row["detail"] = (
+            f"{metric} {float(value):.6g} {comparison} {'ceiling' if direction == 'lower' else 'floor'} "
+            f"{float(bound):.6g} — measurement from a failing benchmark run, "
+            f"excluded from future baselines"
+        )
+        warnings.warn(
+            f"benchmark bound violated: {metric} {float(value):.6g} "
+            f"{comparison} {float(bound):.6g}",
+            stacklevel=2,
+        )
     rows = _load_history(path)
     rows.append(row)
-    if guard_tolerance is not None:
+    if guard_tolerance is not None and not breached:
         found = check_regression(
             rows, metric, tolerance=guard_tolerance, direction=guard_direction
         )

@@ -124,9 +124,11 @@ def test_shadow_mirror_p50_overhead_under_ceiling():
         f"(ratio {ratio:.4f}, ceiling {P50_CEILING})"
     )
     metric = "shadow_p50_overhead_ratio_smoke" if SMOKE else "shadow_p50_overhead_ratio"
-    record(metric, ratio, path=CANARY_HISTORY)
-    record(f"{metric}_bare_p50_ms", 1e3 * bare_p50, path=CANARY_HISTORY)
-    record(f"{metric}_shadow_p50_ms", 1e3 * shadow_p50, path=CANARY_HISTORY)
+    record(metric, ratio, path=CANARY_HISTORY, bound=P50_CEILING)
+    record(f"{metric}_bare_p50_ms", 1e3 * bare_p50, path=CANARY_HISTORY, context=True)
+    record(
+        f"{metric}_shadow_p50_ms", 1e3 * shadow_p50, path=CANARY_HISTORY, context=True
+    )
     assert ratio <= P50_CEILING, (
         f"shadow mirroring at {MIRROR_FRACTION:.0%} cost "
         f"{100 * (ratio - 1):.1f}% of p50 serving latency "

@@ -97,9 +97,18 @@ def test_compiled_training_speedup_with_bit_identical_losses():
 
     speedup = statistics.median(ratios)
     metric = "epoch_speedup_smoke" if SMOKE else "epoch_speedup"
-    record(metric, speedup)
-    record(f"{metric}_eager_ms", 1000.0 * statistics.median(eager_times))
-    record(f"{metric}_compiled_ms", 1000.0 * statistics.median(compiled_times))
+    # The speedup has drifted down over the history (compiled_ms roughly
+    # doubled as later PRs grew the instrumented step); guard_tolerance makes
+    # any further slide show up as a warning row in the committed history,
+    # and bound= keeps a sub-floor run out of future medians, so the trend
+    # is consciously revisited instead of silently flaking near the floor.
+    record(metric, speedup, guard_tolerance=0.15, bound=SPEEDUP_FLOOR)
+    record(f"{metric}_eager_ms", 1000.0 * statistics.median(eager_times), context=True)
+    record(
+        f"{metric}_compiled_ms",
+        1000.0 * statistics.median(compiled_times),
+        context=True,
+    )
     assert speedup >= SPEEDUP_FLOOR, (
         f"compiled arm ran {speedup:.2f}x eager (median of {TIMED_EPOCHS} paired "
         f"epochs, ratios {[round(r, 2) for r in ratios]}); "

@@ -5,9 +5,11 @@ Two acceptance checks from the observability PR:
 * **Overhead** — serving the same query load through a
   :class:`~repro.serve.service.RecommendationService` with metrics *and*
   tracing enabled must stay within 5% of the q/s of an identical service with
-  observability disabled (the default).  Both arms are timed best-of-N with
-  the cache off, so every request pays for real retrieval and the comparison
-  measures instrumentation, not cache luck.
+  observability disabled (the default).  The arms are timed as interleaved
+  pairs (median per-rep ratio, see :func:`paired_overhead`) with the cache
+  off, so every request pays for real retrieval and the comparison measures
+  instrumentation — not cache luck, and not machine-speed drift between two
+  sequential timing phases.
 * **Coverage** — profiling a compiled LightGCN + DaRec epoch must produce a
   per-op timing breakdown whose summed op time explains at least 80% of the
   measured epoch wall time; a profile that misses a fifth of the epoch is not
@@ -21,6 +23,7 @@ appended to ``BENCH_obs_overhead.json`` via :mod:`benchmarks.record`.
 from __future__ import annotations
 
 import os
+import statistics
 import time
 from pathlib import Path
 
@@ -33,7 +36,7 @@ from repro.train import Trainer, TrainingConfig
 
 from .conftest import BENCH_SCALE
 from .record import record
-from .test_bench_serving import NUM_QUERIES, TOP_K, best_of, serving_corpus
+from .test_bench_serving import NUM_QUERIES, TOP_K, serving_corpus
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in {"0", "", "false", "False"}
 
@@ -55,6 +58,37 @@ def _serve_all(service: RecommendationService, user_ids: list[int]) -> None:
         service.recommend_many(user_ids[start : start + BATCH_SIZE], k=TOP_K)
 
 
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def paired_overhead(baseline_rep, enabled_rep, repetitions: int = 7):
+    """Median per-rep enabled/disabled ratio, arms interleaved.
+
+    Timing all baseline reps and then all enabled reps lets any machine-speed
+    shift between the two phases (CPU frequency, a background burst on a
+    single-core CI box) masquerade as instrumentation overhead — one lucky
+    baseline rep once inflated the recorded ratio to 1.40 on a run where
+    every honest rep sat near 1.0.  Pairing each baseline rep with an
+    immediately following enabled rep and taking the median ratio makes the
+    comparison robust to drift that is slower than one rep — the same idiom
+    ``test_bench_nn_compile`` uses for its paired-epoch speedups.
+
+    Returns ``(median_ratio, best_disabled_time, best_enabled_time)``; the
+    best-of times are kept for the q/s context rows.
+    """
+    ratios, disabled_best, enabled_best = [], float("inf"), float("inf")
+    for _ in range(repetitions):
+        disabled_time = _timed(baseline_rep)
+        enabled_time = _timed(enabled_rep)
+        ratios.append(enabled_time / disabled_time)
+        disabled_best = min(disabled_best, disabled_time)
+        enabled_best = min(enabled_best, enabled_time)
+    return statistics.median(ratios), disabled_best, enabled_best
+
+
 def test_enabled_observability_overhead_under_ceiling():
     """Metrics + tracing cost < 5% of serving throughput (full run)."""
     snapshot, _ = serving_corpus(OVERHEAD_SCALE)
@@ -64,20 +98,27 @@ def test_enabled_observability_overhead_under_ceiling():
     # cache is off in both arms so every query performs real retrieval.
     baseline = RecommendationService(snapshot, default_k=TOP_K, cache_size=0)
     _serve_all(baseline, user_ids)  # warm-up outside the timer
-    disabled_time = best_of(lambda: _serve_all(baseline, user_ids))
 
     # Instrumented arm: handles bind at construction, so the service is built
-    # *inside* the scopes — the discipline real deployments follow.
+    # *inside* the scopes — the discipline real deployments follow.  The
+    # scopes are re-entered around each timed rep so the baseline arm runs
+    # with observability genuinely disabled in between.
     with use_registry() as registry, use_tracer(Tracer()) as tracer:
         instrumented = RecommendationService(snapshot, default_k=TOP_K, cache_size=0)
-        _serve_all(instrumented, user_ids)
-        enabled_time = best_of(lambda: _serve_all(instrumented, user_ids))
-        # The instrumentation actually ran: every query was counted and every
-        # batch produced at least a serving span.
-        assert registry.value("serve.queries.total") >= NUM_QUERIES
-        assert len(tracer) + tracer.dropped_spans >= NUM_QUERIES // BATCH_SIZE
+        _serve_all(instrumented, user_ids)  # warm-up
 
-    ratio = enabled_time / disabled_time
+    def enabled_rep() -> None:
+        with use_registry(registry), use_tracer(tracer):
+            _serve_all(instrumented, user_ids)
+
+    ratio, disabled_time, enabled_time = paired_overhead(
+        lambda: _serve_all(baseline, user_ids), enabled_rep
+    )
+    # The instrumentation actually ran: every query was counted and every
+    # batch produced at least a serving span.
+    assert registry.value("serve.queries.total") >= NUM_QUERIES
+    assert len(tracer) + tracer.dropped_spans >= NUM_QUERIES // BATCH_SIZE
+
     disabled_qps = NUM_QUERIES / disabled_time
     enabled_qps = NUM_QUERIES / enabled_time
     print(
@@ -87,9 +128,13 @@ def test_enabled_observability_overhead_under_ceiling():
         f"ceiling {OVERHEAD_CEILING})"
     )
     metric = "serving_overhead_ratio_smoke" if SMOKE else "serving_overhead_ratio"
-    record(metric, ratio, path=OBS_HISTORY)
-    record(f"{metric}_disabled_qps", disabled_qps, path=OBS_HISTORY)
-    record(f"{metric}_enabled_qps", enabled_qps, path=OBS_HISTORY)
+    # bound= journals a ceiling breach as an annotated regression_warning row
+    # (excluded from future medians) instead of a clean baseline-polluting
+    # measurement — record precedes the assert, so this run fails loudly in
+    # the committed history too.  guard_tolerance flags within-ceiling drift.
+    record(metric, ratio, path=OBS_HISTORY, guard_tolerance=0.15, bound=OVERHEAD_CEILING)
+    record(f"{metric}_disabled_qps", disabled_qps, path=OBS_HISTORY, context=True)
+    record(f"{metric}_enabled_qps", enabled_qps, path=OBS_HISTORY, context=True)
     assert ratio <= OVERHEAD_CEILING, (
         f"metrics+tracing cost {100 * (ratio - 1):.1f}% of serving throughput "
         f"({enabled_qps:,.0f} vs {disabled_qps:,.0f} q/s); "
@@ -110,8 +155,7 @@ def test_health_engine_overhead_under_ceiling():
     user_ids = [i % snapshot.num_users for i in range(NUM_QUERIES)]
 
     baseline = RecommendationService(snapshot, default_k=TOP_K, cache_size=0)
-    _serve_all(baseline, user_ids)
-    disabled_time = best_of(lambda: _serve_all(baseline, user_ids))
+    _serve_all(baseline, user_ids)  # warm-up
 
     with use_registry() as registry:
         service = RecommendationService(snapshot, default_k=TOP_K, cache_size=0)
@@ -123,12 +167,18 @@ def test_health_engine_overhead_under_ceiling():
                 engine.tick()
 
         serve_and_tick()  # warm-up
-        enabled_time = best_of(serve_and_tick)
-        # The engine actually worked: every tick sampled and evaluated.
-        assert engine.tsdb.samples_taken >= NUM_QUERIES // BATCH_SIZE
-        assert engine.last_statuses  # default serving SLOs were evaluated
 
-    ratio = enabled_time / disabled_time
+    def enabled_rep() -> None:
+        with use_registry(registry):
+            serve_and_tick()
+
+    ratio, disabled_time, enabled_time = paired_overhead(
+        lambda: _serve_all(baseline, user_ids), enabled_rep
+    )
+    # The engine actually worked: every tick sampled and evaluated.
+    assert engine.tsdb.samples_taken >= NUM_QUERIES // BATCH_SIZE
+    assert engine.last_statuses  # default serving SLOs were evaluated
+
     print(
         f"\nhealth-engine overhead at scale {OVERHEAD_SCALE}: "
         f"disabled={NUM_QUERIES / disabled_time:,.0f} q/s  "
@@ -137,7 +187,9 @@ def test_health_engine_overhead_under_ceiling():
         f"{engine.tsdb.samples_taken} samples)"
     )
     metric = "health_overhead_ratio_smoke" if SMOKE else "health_overhead_ratio"
-    record(metric, ratio, path=OBS_HISTORY, guard_tolerance=0.15)
+    record(
+        metric, ratio, path=OBS_HISTORY, guard_tolerance=0.15, bound=OVERHEAD_CEILING
+    )
     assert ratio <= OVERHEAD_CEILING, (
         f"health engine cost {100 * (ratio - 1):.1f}% of serving throughput; "
         f"ceiling is {100 * (OVERHEAD_CEILING - 1):.0f}%"
@@ -180,7 +232,7 @@ def test_per_op_profile_covers_epoch_wall_time():
     assert "optimizer.step" in profiler.seconds
 
     metric = "profile_epoch_coverage_smoke" if SMOKE else "profile_epoch_coverage"
-    record(metric, coverage, path=OBS_HISTORY)
+    record(metric, coverage, path=OBS_HISTORY, bound=COVERAGE_FLOOR)
     assert coverage >= COVERAGE_FLOOR, (
         f"per-op profile explains only {100 * coverage:.1f}% of the "
         f"{epoch_wall:.3f}s epoch; floor is {100 * COVERAGE_FLOOR:.0f}%"

@@ -194,3 +194,106 @@ class TestGuardedRecord:
             r["value"] for r in rows if r.get("kind") != "regression_warning"
         ]
         assert measurement_values == [1.0, 1.02, 0.98, 1.01, 1.5]
+
+
+class TestBoundedRecord:
+    """``record(bound=...)`` — the benchmark's own acceptance threshold."""
+
+    def test_ceiling_breach_marks_the_measurement_row(self, tmp_path):
+        history = tmp_path / "bench.json"
+        with pytest.warns(UserWarning, match="bound violated"):
+            row = record("overhead_ratio", 1.4, path=history, bound=1.05)
+        assert row["kind"] == "regression_warning"
+        assert row["value"] == 1.4
+        assert row["bound"] == 1.05
+        assert row["direction"] == "lower"
+        assert "ceiling" in row["detail"]
+        rows = json.loads(history.read_text())
+        assert rows == [row]  # one annotated row, no clean duplicate
+
+    def test_floor_breach_for_higher_is_better_metric(self, tmp_path):
+        history = tmp_path / "bench.json"
+        with pytest.warns(UserWarning, match="bound violated"):
+            row = record("epoch_speedup", 1.1, path=history, bound=1.2)
+        assert row["kind"] == "regression_warning"
+        assert row["direction"] == "higher"
+        assert "floor" in row["detail"]
+
+    def test_within_bound_row_stays_clean(self, tmp_path):
+        history = tmp_path / "bench.json"
+        row = record("overhead_ratio", 1.01, path=history, bound=1.05)
+        assert set(row) == {"metric", "value", "commit", "date", "schema", "env"}
+
+    def test_breach_rows_never_enter_future_medians(self, tmp_path):
+        history = tmp_path / "bench.json"
+        for v in [1.0, 1.02, 0.98, 1.01]:
+            record("overhead_ratio", v, path=history, bound=1.05)
+        with pytest.warns(UserWarning, match="bound violated"):
+            record("overhead_ratio", 1.4, path=history, bound=1.05)
+        # The outlier is excluded: a subsequent healthy value is compared to
+        # the healthy median (~1.0) and passes without a drift warning.
+        record("overhead_ratio", 1.03, path=history, bound=1.05, guard_tolerance=0.15)
+        rows = json.loads(history.read_text())
+        assert [r["value"] for r in rows if r.get("kind") != "regression_warning"] == [
+            1.0, 1.02, 0.98, 1.01, 1.03,
+        ]
+        assert sum(r.get("kind") == "regression_warning" for r in rows) == 1
+
+    def test_breach_skips_the_median_guard(self, tmp_path):
+        # A bound breach must not also fire the trailing-median guard: the
+        # row is already flagged, and the guard's "newest" would otherwise
+        # point at a stale (pre-breach) measurement.
+        history = tmp_path / "bench.json"
+        for v in [1.0, 1.02, 0.98, 1.01]:
+            record("overhead_ratio", v, path=history)
+        with pytest.warns(UserWarning, match="bound violated"):
+            record("overhead_ratio", 1.4, path=history, bound=1.05, guard_tolerance=0.15)
+        rows = json.loads(history.read_text())
+        assert sum(r.get("kind") == "regression_warning" for r in rows) == 1
+
+
+class TestContextRecord:
+    """``record(context=True)`` — raw machine-speed rows, never contracts."""
+
+    def test_context_row_is_stamped(self, tmp_path):
+        history = tmp_path / "bench.json"
+        row = record("ratio_disabled_qps", 40000.0, path=history, context=True)
+        assert row["kind"] == "context"
+        assert json.loads(history.read_text()) == [row]
+
+    def test_context_rows_excluded_from_medians(self, tmp_path):
+        history = tmp_path / "bench.json"
+        for v in [1.0, 1.02, 0.98, 1.01]:
+            record("lat_seconds", v, path=history)
+        # A wild same-metric context row must not move the baseline: the
+        # next healthy measurement is judged against the clean median.
+        record("lat_seconds", 50.0, path=history, context=True)
+        record("lat_seconds", 1.03, path=history, guard_tolerance=0.15)
+        rows = json.loads(history.read_text())
+        assert all(r.get("kind") != "regression_warning" for r in rows)
+
+    def test_context_rows_are_not_the_newest_check_regression_judges(self):
+        history = [
+            {"metric": "lat_seconds", "value": v, "schema": RECORD_SCHEMA}
+            for v in [1.0, 1.02, 0.98, 1.01, 1.5]
+        ]
+        history.append(
+            {
+                "metric": "lat_seconds",
+                "value": 1.0,
+                "kind": "context",
+                "schema": RECORD_SCHEMA,
+            }
+        )
+        # The trailing context row is transparent: the 1.5 measurement is
+        # still the newest and still flags.
+        found = check_regression(history, "lat_seconds", tolerance=0.15)
+        assert found is not None and found["value"] == 1.5
+
+    def test_context_refuses_guards(self, tmp_path):
+        with pytest.raises(ValueError, match="context rows"):
+            record("x_qps", 1.0, path=tmp_path / "b.json", context=True, bound=2.0)
+        with pytest.raises(ValueError, match="context rows"):
+            record(
+                "x_qps", 1.0, path=tmp_path / "b.json", context=True, guard_tolerance=0.1
+            )

@@ -161,8 +161,18 @@ class HealthEngine:
 # Benchmark-trajectory regression check (doctor --bench)
 # --------------------------------------------------------------------------- #
 def _bench_direction(metric: str) -> str:
-    """Whether larger is better for a metric, inferred from its name."""
+    """Whether larger is better for a metric, inferred from its name.
+
+    ``_ms``/``qps`` are checked before the generic tokens: compound names
+    inherit their parent's tokens, and the suffix is the ground truth
+    (``epoch_speedup_eager_ms`` is a time, ``..._disabled_qps`` a
+    throughput).  Kept in sync with ``benchmarks/record.py``.
+    """
     name = metric.lower()
+    if "_ms" in name:
+        return "lower"
+    if "qps" in name or "per_s" in name:
+        return "higher"
     for token in ("latency", "seconds", "overhead", "time", "ratio_p"):
         if token in name:
             return "lower"
@@ -176,8 +186,11 @@ def bench_regressions(
 
     Mirrors ``benchmarks/record.py::check_regression`` (kept in sync by
     ``tests/obs/test_dashboard.py``) so the doctor can analyse a checkout
-    without importing the benchmarks directory.  Also surfaces any persisted
-    ``regression_warning`` rows the bench runs appended themselves.
+    without importing the benchmarks directory.  Also surfaces persisted
+    ``regression_warning`` rows the bench runs appended themselves — but only
+    ones not yet *superseded* by a newer measurement of the same metric: a
+    recovered metric stops flagging the checkout, matching how the trend
+    check washes out once healthy rows re-enter the median window.
     """
     found: list[dict] = []
     root = Path(bench_dir)
@@ -191,20 +204,28 @@ def bench_regressions(
         if not isinstance(rows, list):
             continue
         by_metric: dict[str, list[dict]] = {}
+        live_warnings: dict[str, list[dict]] = {}
         for row in rows:
             if not isinstance(row, dict) or "metric" not in row:
                 continue
+            metric = row["metric"]
             if row.get("kind") == "regression_warning":
+                live_warnings.setdefault(metric, []).append(row)
+                continue
+            if row.get("kind") == "context":
+                continue  # raw machine-speed numbers: forensics, not contracts
+            live_warnings.pop(metric, None)  # healthy row supersedes warnings
+            by_metric.setdefault(metric, []).append(row)
+        for metric, rows_for_metric in live_warnings.items():
+            for row in rows_for_metric:
                 found.append(
                     {
                         "file": path.name,
-                        "metric": row.get("metric", "?"),
+                        "metric": metric,
                         "detail": row.get("detail", "recorded regression warning"),
                         "source": "recorded",
                     }
                 )
-                continue
-            by_metric.setdefault(row["metric"], []).append(row)
         for metric, history in by_metric.items():
             if len(history) < 4:  # need >= 3 prior rows for a stable median
                 continue

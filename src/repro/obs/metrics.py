@@ -365,6 +365,22 @@ class MetricsRegistry:
             )
         return out
 
+    def read_series(self) -> list:
+        """Flat live view for samplers: ``(name, kind, label_key, instrument)``.
+
+        The sampler's hot path: no per-call dict rendering, no sorting, no
+        cumulative-bucket lists — the caller reads instrument state directly.
+        The instruments are live, so readers see values concurrent updates
+        produce (individual attribute reads are atomic under the GIL), the
+        same consistency :meth:`snapshot` offers.
+        """
+        with self._lock:
+            return [
+                (family.name, family.kind, key, instrument)
+                for family in self._families.values()
+                for key, instrument in family.series.items()
+            ]
+
     def get(self, name: str, labels: dict | None = None):
         """The existing instrument for ``name{labels}``, or ``None``."""
         with self._lock:
@@ -445,6 +461,9 @@ class NullRegistry:
         return _NULL_HISTOGRAM
 
     def snapshot(self) -> list[dict]:
+        return []
+
+    def read_series(self) -> list:
         return []
 
     def get(self, name: str, labels: dict | None = None):

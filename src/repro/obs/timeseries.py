@@ -33,6 +33,7 @@ import math
 import threading
 import time
 from collections import deque
+from itertools import accumulate
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -155,6 +156,31 @@ class _Tier:
             return list(self.points)
         return list(self.points) + [self._acc]
 
+    def newest(self):
+        """The freshest visible point without copying the ring."""
+        if self._acc is not None:
+            return self._acc
+        return self.points[-1] if self.points else None
+
+    def points_since(self, start: float) -> list:
+        """Visible points with ``ts >= start``, oldest first.
+
+        Walks the ring from the newest end and stops at the first older
+        point — points are appended chronologically, so the prefix that
+        falls outside the window is never touched.  This is the hot path of
+        every windowed query; copying the whole ring per query is what made
+        a per-batch health tick cost ~8% of serving throughput.
+        """
+        out = []
+        if self._acc is not None and self._acc[_TS] >= start:
+            out.append(self._acc)
+        for point in reversed(self.points):
+            if point[_TS] < start:
+                break
+            out.append(point)
+        out.reverse()
+        return out
+
     def span_start(self) -> float | None:
         if self.points:
             return self.points[0][_TS]
@@ -200,35 +226,39 @@ class _Series:
         the whole window, the tier reaching furthest back wins (finest on
         ties) — better a partial fine answer than none.
         """
-        best: tuple[float, list] | None = None
+        best: tuple[float, _Tier] | None = None
         for tier in self.tiers:
             span_start = tier.span_start()
             if span_start is None:
                 continue
             if span_start <= start:
-                return [p for p in tier.visible() if p[_TS] >= start]
+                return tier.points_since(start)
             if best is None or span_start < best[0]:
-                best = (span_start, tier.visible())
+                best = (span_start, tier)
         if best is None:
             return []
-        return [p for p in best[1] if p[_TS] >= start]
+        return best[1].points_since(start)
 
     def at_or_before(self, ts: float):
         """The freshest point with timestamp <= ``ts`` (window baseline)."""
         best = None
         for tier in self.tiers:
-            for point in reversed(tier.visible()):
-                if point[_TS] <= ts:
-                    if best is None or point[_TS] > best[_TS]:
-                        best = point
-                    break
+            acc = tier._acc
+            candidate = acc if acc is not None and acc[_TS] <= ts else None
+            if candidate is None:
+                for point in reversed(tier.points):
+                    if point[_TS] <= ts:
+                        candidate = point
+                        break
+            if candidate is not None and (best is None or candidate[_TS] > best[_TS]):
+                best = candidate
         return best
 
     def latest(self):
         for tier in self.tiers:
-            points = tier.visible()
-            if points:
-                return points[-1]
+            newest = tier.newest()
+            if newest is not None:
+                return newest
         return None
 
 
@@ -256,12 +286,44 @@ class TimeSeriesDB:
         """Append one point per live registry series; returns series touched.
 
         ``registry`` defaults to the active one; ``now`` defaults to the DB
-        clock (injectable for deterministic tests).
+        clock (injectable for deterministic tests).  Registries exposing the
+        flat ``read_series()`` view are sampled through it — instrument
+        state is read directly, skipping :meth:`snapshot`'s per-call dict
+        rendering (the sampler may run once per served batch; its cost is
+        serving overhead).  Foreign registry objects without ``read_series``
+        fall back to the ``snapshot()`` exposition format.
         """
         registry = registry if registry is not None else get_registry()
         ts = self._clock() if now is None else float(now)
-        snapshot = registry.snapshot()
+        reader = getattr(registry, "read_series", None)
         touched = 0
+        if reader is not None:
+            with self._lock:
+                for name, kind, label_key, instrument in reader():
+                    key = (name, label_key)
+                    series = self._series.get(key)
+                    if kind == "histogram":
+                        if series is None:
+                            series = _Series(
+                                name, dict(label_key), kind, self.config,
+                                instrument.bounds,
+                            )
+                            self._series[key] = series
+                        series.add_hist(
+                            ts,
+                            instrument.count,
+                            instrument.sum,
+                            list(accumulate(instrument.bucket_counts)),
+                        )
+                    else:
+                        if series is None:
+                            series = _Series(name, dict(label_key), kind, self.config)
+                            self._series[key] = series
+                        series.add_scalar(ts, instrument.value)
+                    touched += 1
+                self.samples_taken += 1
+            return touched
+        snapshot = registry.snapshot()
         with self._lock:
             for family in snapshot:
                 kind = family["kind"]

@@ -274,6 +274,46 @@ class TestBenchRegressions:
         found = bench_regressions(tmp_path)
         assert [w["source"] for w in found] == ["recorded"]
 
+    def test_context_rows_are_never_trend_checked(self, tmp_path):
+        # Raw machine-speed rows (kind="context") explain a headline ratio
+        # but track the CI box, not the code: a slower machine must not
+        # degrade the doctor's verdict.
+        rows = [
+            {"metric": "ratio_disabled_qps", "value": v, "kind": "context", "schema": 1}
+            for v in [40000.0, 41000.0, 39000.0, 40500.0, 20000.0]
+        ]
+        (tmp_path / "BENCH_x.json").write_text(json.dumps(rows))
+        assert bench_regressions(tmp_path, tolerance=0.15) == []
+
+    def test_superseded_warning_rows_do_not_surface(self, tmp_path):
+        # A warning followed by a newer healthy measurement of the same
+        # metric is history, not state: the checkout recovered, the doctor
+        # must stop flagging it.
+        rows = [
+            {"metric": "m_seconds", "value": 1.0, "schema": 1},
+            {
+                "kind": "regression_warning",
+                "metric": "m_seconds",
+                "detail": "recorded at bench time",
+            },
+            {"metric": "m_seconds", "value": 1.01, "schema": 1},
+        ]
+        (tmp_path / "BENCH_x.json").write_text(json.dumps(rows))
+        assert bench_regressions(tmp_path) == []
+
+    def test_other_metrics_do_not_supersede_a_warning(self, tmp_path):
+        rows = [
+            {
+                "kind": "regression_warning",
+                "metric": "m_seconds",
+                "detail": "recorded at bench time",
+            },
+            {"metric": "other_seconds", "value": 1.0, "schema": 1},
+        ]
+        (tmp_path / "BENCH_x.json").write_text(json.dumps(rows))
+        found = bench_regressions(tmp_path)
+        assert [w["metric"] for w in found] == ["m_seconds"]
+
     def test_missing_directory_and_garbage_files(self, tmp_path):
         assert bench_regressions(tmp_path / "nope") == []
         (tmp_path / "BENCH_bad.json").write_text("{not json")
@@ -319,5 +359,23 @@ class TestSyncWithRecordModule:
             "serve_throughput_qps",
             "ndcg_at_20",
             "recall_at_20",
+            "epoch_speedup_eager_ms",
+            "serving_overhead_ratio_disabled_qps",
         ]:
             assert record.infer_direction(metric) == _bench_direction(metric), metric
+
+    def test_suffix_beats_inherited_parent_tokens(self):
+        record = load_record_module()
+        from repro.obs.health import _bench_direction
+
+        # Compound metric names inherit their parent's tokens; the unit
+        # suffix is the ground truth for which way is better.
+        for metric, expect in [
+            ("epoch_speedup_eager_ms", "lower"),
+            ("epoch_speedup_compiled_ms", "lower"),
+            ("serving_overhead_ratio_disabled_qps", "higher"),
+            ("shadow_p50_overhead_ratio_bare_p50_ms", "lower"),
+            ("events_per_s", "higher"),
+        ]:
+            assert record.infer_direction(metric) == expect, metric
+            assert _bench_direction(metric) == expect, metric
