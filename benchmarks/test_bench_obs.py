@@ -49,6 +49,12 @@ OVERHEAD_SCALE = 2.0 if SMOKE else 8.0
 BATCH_SIZE = 256
 #: CI smoke only guards against gross regressions; the full run holds <5%.
 OVERHEAD_CEILING = 1.15 if SMOKE else 1.05
+#: Serving passes per timed rep.  A single pass over the query load is ~60 ms
+#: on the CI box — short enough that one scheduler burst swings a rep's ratio
+#: by ±15% and occasionally drags even the median of 7 over the ceiling.
+#: Three passes put the rep at ~180 ms, where the median ratio is stable to
+#: well under 1% across trials.
+REP_PASSES = 3
 #: Fraction of epoch wall time the per-op profile must account for.
 COVERAGE_FLOOR = 0.8
 
@@ -107,20 +113,23 @@ def test_enabled_observability_overhead_under_ceiling():
         instrumented = RecommendationService(snapshot, default_k=TOP_K, cache_size=0)
         _serve_all(instrumented, user_ids)  # warm-up
 
+    def baseline_rep() -> None:
+        for _ in range(REP_PASSES):
+            _serve_all(baseline, user_ids)
+
     def enabled_rep() -> None:
         with use_registry(registry), use_tracer(tracer):
-            _serve_all(instrumented, user_ids)
+            for _ in range(REP_PASSES):
+                _serve_all(instrumented, user_ids)
 
-    ratio, disabled_time, enabled_time = paired_overhead(
-        lambda: _serve_all(baseline, user_ids), enabled_rep
-    )
+    ratio, disabled_time, enabled_time = paired_overhead(baseline_rep, enabled_rep)
     # The instrumentation actually ran: every query was counted and every
     # batch produced at least a serving span.
     assert registry.value("serve.queries.total") >= NUM_QUERIES
     assert len(tracer) + tracer.dropped_spans >= NUM_QUERIES // BATCH_SIZE
 
-    disabled_qps = NUM_QUERIES / disabled_time
-    enabled_qps = NUM_QUERIES / enabled_time
+    disabled_qps = REP_PASSES * NUM_QUERIES / disabled_time
+    enabled_qps = REP_PASSES * NUM_QUERIES / enabled_time
     print(
         f"\nobs overhead at scale {OVERHEAD_SCALE} ({snapshot.num_items} items, "
         f"{NUM_QUERIES} queries): disabled={disabled_qps:,.0f} q/s  "
@@ -168,21 +177,24 @@ def test_health_engine_overhead_under_ceiling():
 
         serve_and_tick()  # warm-up
 
+    def baseline_rep() -> None:
+        for _ in range(REP_PASSES):
+            _serve_all(baseline, user_ids)
+
     def enabled_rep() -> None:
         with use_registry(registry):
-            serve_and_tick()
+            for _ in range(REP_PASSES):
+                serve_and_tick()
 
-    ratio, disabled_time, enabled_time = paired_overhead(
-        lambda: _serve_all(baseline, user_ids), enabled_rep
-    )
+    ratio, disabled_time, enabled_time = paired_overhead(baseline_rep, enabled_rep)
     # The engine actually worked: every tick sampled and evaluated.
     assert engine.tsdb.samples_taken >= NUM_QUERIES // BATCH_SIZE
     assert engine.last_statuses  # default serving SLOs were evaluated
 
     print(
         f"\nhealth-engine overhead at scale {OVERHEAD_SCALE}: "
-        f"disabled={NUM_QUERIES / disabled_time:,.0f} q/s  "
-        f"enabled={NUM_QUERIES / enabled_time:,.0f} q/s  "
+        f"disabled={REP_PASSES * NUM_QUERIES / disabled_time:,.0f} q/s  "
+        f"enabled={REP_PASSES * NUM_QUERIES / enabled_time:,.0f} q/s  "
         f"(ratio {ratio:.4f}, ceiling {OVERHEAD_CEILING}, "
         f"{engine.tsdb.samples_taken} samples)"
     )

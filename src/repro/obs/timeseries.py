@@ -243,6 +243,13 @@ class _Series:
         """The freshest point with timestamp <= ``ts`` (window baseline)."""
         best = None
         for tier in self.tiers:
+            # O(1) reject: if even the oldest retained point is newer than
+            # ``ts``, the reverse walk below would scan the whole ring just to
+            # find nothing — the common case when the query window is longer
+            # than the retained span.
+            span_start = tier.span_start()
+            if span_start is None or span_start > ts:
+                continue
             acc = tier._acc
             candidate = acc if acc is not None and acc[_TS] <= ts else None
             if candidate is None:
@@ -260,6 +267,24 @@ class _Series:
             if newest is not None:
                 return newest
         return None
+
+    def oldest(self):
+        """The earliest retained point across tiers (window-baseline fallback).
+
+        Ties go to the finest tier, matching :meth:`select`'s
+        furthest-back-finest-on-ties choice.
+        """
+        best = None
+        for tier in self.tiers:
+            if tier.points:
+                candidate = tier.points[0]
+            elif tier._acc is not None:
+                candidate = tier._acc
+            else:
+                continue
+            if best is None or candidate[_TS] < best[_TS]:
+                best = candidate
+        return best
 
 
 # --------------------------------------------------------------------------- #
@@ -455,8 +480,11 @@ class TimeSeriesDB:
             return None, None
         base = series.at_or_before(start)
         if base is None:
-            inside = series.select(start)
-            base = inside[0] if inside else end_point
+            # Every retained point is newer than the window start (short run,
+            # long window): the oldest point is the baseline.  O(#tiers) —
+            # materialising the whole window via select() here made per-tick
+            # cost grow with every accumulated sample.
+            base = series.oldest() or end_point
         return base, end_point
 
     def increase(
